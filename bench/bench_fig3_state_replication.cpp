@@ -1,0 +1,77 @@
+// Experiment F3 (Figure 3): |Sv|=1, |St|>1 — single-copy passive
+// replication of the state.
+//
+// Sweep |St| from 1 to 5 with store nodes cycling through crashes.
+// Availability rises with |St| (the action only needs ONE functioning
+// store to load from and ONE to accept the commit-time copy; failed
+// copies are Excluded). We also report commit latency — which grows with
+// |St| because the new state is copied to every functioning member — and
+// the number of Exclude repairs the naming database absorbed.
+#include "bench/common.h"
+
+using namespace gv;
+using namespace gv::bench;
+
+namespace {
+
+struct CellResult {
+  WorkloadResult wl;
+  std::uint64_t excluded = 0;
+  std::uint64_t included_back = 0;
+};
+
+CellResult run(std::size_t n_stores, std::uint64_t seed, Summary* latency) {
+  SystemConfig cfg;
+  cfg.nodes = 10;
+  cfg.seed = seed;
+  ReplicaSystem sys{cfg};
+  std::vector<sim::NodeId> st;
+  for (std::size_t i = 0; i < n_stores; ++i) st.push_back(static_cast<sim::NodeId>(4 + i));
+  const Uid obj = sys.define_object("obj", "counter", replication::Counter{}.snapshot(), {2},
+                                    st, ReplicationPolicy::SingleCopyPassive, 1);
+  // Only the STORES churn; the single server stays up so the effect of
+  // state replication is isolated.
+  core::ChaosMonkey chaos{sys.sim(), sys.cluster(),
+                          core::ChaosConfig{.mean_uptime = 1200 * sim::kMillisecond,
+                                            .mean_downtime = 500 * sim::kMillisecond,
+                                            .victims = st}};
+  chaos.start();
+  auto* client = sys.client(1);
+  CellResult out;
+  sys.sim().spawn(run_workload(client, obj, WorkloadOptions{.transactions = 80}, out.wl,
+                               latency));
+  sys.sim().run_until(120 * sim::kSecond);
+  chaos.stop();
+  const Counters agg = sys.aggregate_counters();
+  out.excluded = agg.get("ostdb.excluded_nodes");
+  out.included_back = agg.get("recovery.included");
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("F3 / Figure 3: |Sv|=1, |St| swept 1..5 (single-copy passive)\n");
+  std::printf("80 txns per run, 5 seeds; store nodes cycling through crashes\n");
+  core::Table table({"|St|", "availability", "commit latency (ms)", "Excludes", "Includes"});
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u}) {
+    WorkloadResult sum;
+    Summary latency;
+    std::uint64_t excluded = 0, included = 0;
+    for (auto seed : seeds()) {
+      auto r = run(n, seed, &latency);
+      sum.attempted += r.wl.attempted;
+      sum.committed += r.wl.committed;
+      excluded += r.excluded;
+      included += r.included_back;
+    }
+    table.add_row({std::to_string(n), core::Table::fmt_pct(sum.availability()),
+                   core::Table::fmt(latency.mean()), std::to_string(excluded),
+                   std::to_string(included)});
+  }
+  table.print("availability vs |St|");
+  std::printf("\nExpected shape: availability rises with |St| (any one functioning\n"
+              "store suffices); commit latency grows mildly with the copy fan-out;\n"
+              "Exclude/Include counts show the meta-information machinery working.\n");
+  return 0;
+}

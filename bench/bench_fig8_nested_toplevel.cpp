@@ -1,0 +1,40 @@
+// Experiment F8 (Figure 8): nested top-level actions.
+//
+// Functionally scheme S2 — same GetServer/Remove/Increment/Decrement
+// protocol, same use lists — but the binding action is invoked from
+// INSIDE the running client action, folding the three separate action
+// envelopes of fig 7 into one enclosing structure. We run the same
+// workload as F7 and compare the two enhanced schemes directly.
+#include "bench/scheme_common.h"
+
+using namespace gv;
+using namespace gv::bench;
+
+int main() {
+  std::printf("F8 / Figure 8: nested top-level actions (scheme S3) vs S2\n");
+  std::printf("30 txns per client, 5 seeds; Sv={2,3,4,5}, servers 2,3 dead all run\n");
+  core::Table table({"clients", "S3 availability", "S3 stale probes", "S3 latency (ms)",
+                     "S2 latency (ms)"});
+  for (int clients : {1, 2, 4, 6}) {
+    SchemeMetrics s3_sum;
+    Summary s3_latency, s2_latency;
+    for (auto seed : seeds()) {
+      auto m3 = run_scheme_workload(naming::Scheme::NestedTopLevel, clients, seed, &s3_latency);
+      s3_sum.wl.attempted += m3.wl.attempted;
+      s3_sum.wl.committed += m3.wl.committed;
+      s3_sum.stale_probes += m3.stale_probes;
+      (void)run_scheme_workload(naming::Scheme::IndependentTopLevel, clients, seed,
+                                &s2_latency);
+    }
+    table.add_row({std::to_string(clients), core::Table::fmt_pct(s3_sum.wl.availability()),
+                   std::to_string(s3_sum.stale_probes), core::Table::fmt(s3_latency.mean()),
+                   core::Table::fmt(s2_latency.mean())});
+  }
+  table.print("scheme S3 vs S2 under churn");
+  std::printf("\nExpected shape: S3 matches S2 on every repair metric — the paper\n"
+              "presents them as the SAME database protocol in different action\n"
+              "structures. In this implementation both bind lazily at first use,\n"
+              "so under a deterministic simulator the runs are bit-identical:\n"
+              "functional equivalence measured as exact equality.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Microbenchmarks (google-benchmark) for the hot substrate paths: buffer
+// marshalling, lock acquire/release, simulator event dispatch, and a full
+// simulated transaction. These quantify the simulator's own overheads so
+// the experiment harness numbers can be read with them in mind.
+#include <benchmark/benchmark.h>
+
+#include "actions/lock_manager.h"
+#include "bench/common.h"
+
+namespace gv {
+namespace {
+
+void BM_BufferPackUnpack(benchmark::State& state) {
+  for (auto _ : state) {
+    Buffer b;
+    b.pack_u64(42).pack_string("object-state").pack_uid(Uid{1, 2});
+    benchmark::DoNotOptimize(b.unpack_u64());
+    benchmark::DoNotOptimize(b.unpack_string());
+    benchmark::DoNotOptimize(b.unpack_uid());
+  }
+}
+BENCHMARK(BM_BufferPackUnpack);
+
+void BM_BufferChecksum(benchmark::State& state) {
+  Buffer b;
+  for (int i = 0; i < state.range(0); ++i) b.pack_u64(static_cast<std::uint64_t>(i));
+  for (auto _ : state) benchmark::DoNotOptimize(b.checksum());
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_BufferChecksum)->Arg(64)->Arg(1024);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  sim::Simulator sim;
+  actions::LockManager lm{sim};
+  const Uid owner{1, 1};
+  for (auto _ : state) {
+    sim.spawn([](actions::LockManager& lm, Uid owner) -> sim::Task<> {
+      (void)co_await lm.acquire("r", actions::LockMode::Write, owner);
+    }(lm, owner));
+    sim.run();
+    lm.release_all(owner);
+  }
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_SimulatorEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i)
+      sim.schedule(static_cast<sim::SimTime>(i), [&sink] { ++sink; });
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventDispatch);
+
+void BM_FullTransaction(benchmark::State& state) {
+  // One committed write transaction against |Sv|=1,|St|=2, end to end
+  // (bind, activate, invoke, commit processing, 2PC, decrement).
+  for (auto _ : state) {
+    core::SystemConfig cfg;
+    cfg.nodes = 6;
+    core::ReplicaSystem sys{cfg};
+    const Uid obj = sys.define_object("o", "counter", replication::Counter{}.snapshot(), {2},
+                                      {3, 4}, core::ReplicationPolicy::SingleCopyPassive, 1);
+    auto* client = sys.client(1);
+    bool ok = false;
+    sys.sim().spawn([](core::ClientSession* c, Uid obj, bool& ok) -> sim::Task<> {
+      auto txn = c->begin();
+      (void)co_await txn->invoke(obj, "add", bench::i64_buf(1), core::LockMode::Write);
+      ok = (co_await txn->commit()).ok();
+    }(client, obj, ok));
+    sys.sim().run();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_FullTransaction)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace gv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// figure; see DESIGN.md section 5 and EXPERIMENTS.md).
+//
+// Each harness is a deterministic Monte-Carlo simulation: it builds a
+// ReplicaSystem, runs a workload under failure injection across several
+// seeds, and prints the series the figure's argument predicts.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "core/chaos.h"
+#include "core/metrics.h"
+#include "core/system.h"
+
+namespace gv::bench {
+
+using core::ClientSession;
+using core::LockMode;
+using core::ReplicaSystem;
+using core::ReplicationPolicy;
+using core::SystemConfig;
+using core::Table;
+
+inline Buffer i64_buf(std::int64_t v) {
+  Buffer b;
+  b.pack_i64(v);
+  return b;
+}
+
+inline Buffer str_buf(const std::string& s) {
+  Buffer b;
+  b.pack_string(s);
+  return b;
+}
+
+struct WorkloadResult {
+  int attempted = 0;
+  int committed = 0;
+  double mean_txn_latency_ms = 0;
+
+  double availability() const {
+    return attempted == 0 ? 0.0 : static_cast<double>(committed) / attempted;
+  }
+};
+
+struct WorkloadOptions {
+  int transactions = 50;
+  sim::SimTime think_time = 25 * sim::kMillisecond;
+  LockMode mode = LockMode::Write;
+  std::string op = "add";
+  std::int64_t arg = 1;
+};
+
+// Run `opts.transactions` sequential transactions from `client` against
+// `obj`; accumulate availability and latency.
+inline sim::Task<> run_workload(ClientSession* client, Uid obj, WorkloadOptions opts,
+                                WorkloadResult& out, Summary* latency = nullptr) {
+  auto& sim = client->runtime().endpoint().node().sim();
+  for (int i = 0; i < opts.transactions; ++i) {
+    ++out.attempted;
+    const sim::SimTime start = sim.now();
+    auto txn = client->begin();
+    auto r = co_await txn->invoke(obj, opts.op, i64_buf(opts.arg), opts.mode);
+    if (!r.ok()) {
+      (void)co_await txn->abort();
+    } else if ((co_await txn->commit()).ok()) {
+      ++out.committed;
+      if (latency)
+        latency->add(static_cast<double>(sim.now() - start) / sim::kMillisecond);
+    }
+    co_await sim.sleep(opts.think_time);
+  }
+}
+
+// Seeds used for Monte-Carlo averaging in every harness.
+inline const std::vector<std::uint64_t>& seeds() {
+  static const std::vector<std::uint64_t> s{11, 29, 47, 83, 131};
+  return s;
+}
+
+}  // namespace gv::bench

@@ -1,0 +1,66 @@
+// Shared workload for the scheme experiments F6-F8 (figs 6-8): N clients
+// repeatedly run transactions against one active-replicated object whose
+// Sv set contains DEAD servers nobody has told the database about — the
+// exact scenario sec 4.1.2 discusses. The schemes differ in how the
+// Object Server database is consulted and repaired; the metrics expose
+// the trade-offs:
+//
+//   stale probes   — bind attempts against dead servers ("the hard way")
+//   Removes        — repairs committed to Sv (only the enhanced schemes)
+//   lock conflicts — write-lock traffic on the Sv entry (their price)
+#pragma once
+
+#include "bench/common.h"
+
+namespace gv::bench {
+
+struct SchemeMetrics {
+  WorkloadResult wl;
+  std::uint64_t stale_probes = 0;      // bind attempts against dead servers
+  std::uint64_t removes = 0;           // Remove repairs committed
+  std::uint64_t db_lock_conflicts = 0; // waits/refusals at the Sv entry
+  std::uint64_t top_level_actions = 0; // separate action envelopes used
+};
+
+inline SchemeMetrics run_scheme_workload(naming::Scheme scheme, int n_clients,
+                                         std::uint64_t seed, Summary* latency,
+                                         int dead_servers = 2) {
+  SystemConfig cfg;
+  cfg.nodes = 14;
+  cfg.seed = seed;
+  cfg.scheme = scheme;
+  // Generous deadlines: the scheme comparison is about WHO does the
+  // repair work and WHERE the lock traffic goes — binds that merely queue
+  // on the Sv entry should serialise (visible as latency), not abort.
+  cfg.rpc.call_timeout = 400 * sim::kMillisecond;
+  cfg.naming.lock_wait = 250 * sim::kMillisecond;
+  ReplicaSystem sys{cfg};
+
+  // Sv = {2,3,4,5}: four candidate servers, two active wanted; the first
+  // `dead_servers` of them are down for the whole run and the database
+  // does not know.
+  const std::vector<sim::NodeId> sv{2, 3, 4, 5};
+  const Uid obj = sys.define_object("obj", "counter", replication::Counter{}.snapshot(), sv,
+                                    {6, 7}, ReplicationPolicy::Active, 2);
+  for (int d = 0; d < dead_servers; ++d) sys.cluster().node(sv[d]).crash();
+
+  SchemeMetrics out;
+  for (int c = 0; c < n_clients; ++c) {
+    auto* client = sys.client(static_cast<sim::NodeId>(8 + c));
+    sys.sim().spawn(run_workload(client, obj,
+                                 WorkloadOptions{.transactions = 30,
+                                                 .think_time = 40 * sim::kMillisecond},
+                                 out.wl, latency));
+  }
+  sys.sim().run_until(120 * sim::kSecond);
+
+  const Counters agg = sys.aggregate_counters();
+  out.stale_probes = agg.get("bind.hard_way_failure") + agg.get("bind.probe_failure");
+  out.removes = agg.get("bind.removed_failed_server");
+  out.db_lock_conflicts = agg.get("osdb.lock_refused") + agg.get("osdb.lock.conflict_wait") +
+                          agg.get("osdb.lock.promotion_wait");
+  out.top_level_actions = agg.get("action.begin_top");
+  return out;
+}
+
+}  // namespace gv::bench

@@ -1,0 +1,90 @@
+// Naming-scheme comparison: the same workload under the three database
+// access schemes of sec 4.1 (figs 6-8), with dead servers left in Sv.
+//
+// Shows the paper's qualitative claim directly: under the standard
+// nested-action scheme every client pays failed bind attempts to the
+// dead server ("the hard way"), while the enhanced schemes Remove it on
+// first discovery so later clients never retry it.
+//
+//   ./examples/naming_schemes
+#include <cstdio>
+
+#include "core/metrics.h"
+#include "core/system.h"
+
+using namespace gv;
+using core::LockMode;
+using core::ReplicationPolicy;
+
+namespace {
+
+Buffer i64_buf(std::int64_t v) {
+  Buffer b;
+  b.pack_i64(v);
+  return b;
+}
+
+struct Report {
+  int commits = 0;
+  std::uint64_t stale_probes = 0;  // bind attempts against dead servers
+  std::uint64_t removed = 0;       // Remove() repairs issued
+};
+
+Report run_scheme(naming::Scheme scheme) {
+  core::SystemConfig cfg;
+  cfg.nodes = 12;
+  cfg.seed = 99;
+  cfg.scheme = scheme;
+  core::ReplicaSystem sys{cfg};
+
+  // Sv = {2,3,4}; node 2 is dead for the whole run and nobody tells the
+  // database up front.
+  const Uid obj = sys.define_object("obj", "counter", replication::Counter{}.snapshot(),
+                                    {2, 3, 4}, {6, 7}, ReplicationPolicy::Active, 2);
+  sys.cluster().node(2).crash();
+
+  // Five clients, sequential transactions each.
+  std::vector<core::ClientSession*> clients;
+  for (sim::NodeId n = 8; n < 12; ++n) clients.push_back(sys.client(n));
+  clients.push_back(sys.client(1));
+
+  Report rep;
+  for (auto* client : clients) {
+    sys.sim().spawn([](core::ClientSession* client, Uid obj, Report& rep) -> sim::Task<> {
+      for (int i = 0; i < 4; ++i) {
+        auto txn = client->begin();
+        auto r = co_await txn->invoke(obj, "add", i64_buf(1), LockMode::Write);
+        if (!r.ok()) {
+          (void)co_await txn->abort();
+          continue;
+        }
+        if ((co_await txn->commit()).ok()) ++rep.commits;
+      }
+    }(client, obj, rep));
+  }
+  sys.sim().run();
+
+  const Counters agg = sys.aggregate_counters();
+  rep.stale_probes =
+      agg.get("bind.hard_way_failure") + agg.get("bind.probe_failure");
+  rep.removed = agg.get("bind.removed_failed_server");
+  return rep;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Scheme comparison: Sv={2,3,4}, node 2 dead, 5 clients x 4 txns\n");
+  core::Table table({"scheme", "commits", "stale bind probes", "Remove() repairs"});
+  for (naming::Scheme s : {naming::Scheme::StandardNested, naming::Scheme::IndependentTopLevel,
+                           naming::Scheme::NestedTopLevel}) {
+    Report r = run_scheme(s);
+    table.add_row({naming::to_string(s), std::to_string(r.commits),
+                   std::to_string(r.stale_probes), std::to_string(r.removed)});
+  }
+  table.print("figs 6-8: who pays for dead servers");
+  std::printf("\nExpected shape: the standard scheme probes the dead server once per\n"
+              "client (no Removes possible under shared read locks); the enhanced\n"
+              "schemes pay one probe, Remove the server, and later clients bind clean.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quickstart: a replicated bank account that survives node crashes.
+//
+// Builds an 8-node system, defines a bank account with 3 server nodes
+// and 3 store nodes under active replication, runs deposits/withdrawals
+// from a client, crashes a replica mid-stream, and shows the object
+// stays available and the stores end up mutually consistent.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/system.h"
+
+using namespace gv;
+using core::LockMode;
+using core::ReplicaSystem;
+using core::ReplicationPolicy;
+
+namespace {
+
+Buffer i64_buf(std::int64_t v) {
+  Buffer b;
+  b.pack_i64(v);
+  return b;
+}
+
+sim::Task<> run_client(core::ClientSession* client, ReplicaSystem& sys, Uid acct) {
+  // Deposit 100 in one transaction.
+  {
+    auto txn = client->begin();
+    auto r = co_await txn->invoke(acct, "deposit", i64_buf(100), LockMode::Write);
+    std::printf("[t=%llums] deposit(100) -> %s\n",
+                static_cast<unsigned long long>(sys.sim().now() / 1000),
+                r.ok() ? "ok" : to_string(r.error()));
+    Status c = co_await txn->commit();
+    std::printf("[t=%llums] commit -> %s\n",
+                static_cast<unsigned long long>(sys.sim().now() / 1000),
+                c.ok() ? "COMMITTED" : "ABORTED");
+  }
+
+  // Crash one of the three active replicas; the object must stay up.
+  sys.cluster().node(2).crash();
+  std::printf("[t=%llums] *** crashed server node 2 ***\n",
+              static_cast<unsigned long long>(sys.sim().now() / 1000));
+
+  {
+    auto txn = client->begin();
+    auto r = co_await txn->invoke(acct, "withdraw", i64_buf(30), LockMode::Write);
+    std::printf("[t=%llums] withdraw(30) -> %s (masked by surviving replicas)\n",
+                static_cast<unsigned long long>(sys.sim().now() / 1000),
+                r.ok() ? "ok" : to_string(r.error()));
+    auto bal = co_await txn->invoke(acct, "balance", Buffer{}, LockMode::Read);
+    if (bal.ok())
+      std::printf("[t=%llums] balance = %lld\n",
+                  static_cast<unsigned long long>(sys.sim().now() / 1000),
+                  static_cast<long long>(bal.value().unpack_i64().value()));
+    Status c = co_await txn->commit();
+    std::printf("[t=%llums] commit -> %s\n",
+                static_cast<unsigned long long>(sys.sim().now() / 1000),
+                c.ok() ? "COMMITTED" : "ABORTED");
+  }
+}
+
+}  // namespace
+
+int main() {
+  core::SystemConfig cfg;
+  cfg.nodes = 8;
+  cfg.seed = 42;
+  ReplicaSystem sys{cfg};
+
+  // Node 0: naming. Servers on 2,3,4; stores on 5,6,7. Client on node 1.
+  const Uid acct = sys.define_object("checking", "bank",
+                                     replication::BankAccount{}.snapshot(), {2, 3, 4}, {5, 6, 7},
+                                     ReplicationPolicy::Active, 3);
+  std::printf("defined object 'checking' uid=%s  Sv={2,3,4} St={5,6,7} policy=active\n",
+              acct.to_string().c_str());
+
+  auto* client = sys.client(1);
+  sys.sim().spawn(run_client(client, sys, acct));
+  sys.sim().run();
+
+  std::printf("\nfinal store states:\n");
+  for (sim::NodeId n : sys.gvdb().states().peek(acct)) {
+    auto r = sys.store_at(n).read(acct);
+    if (!r.ok()) continue;
+    replication::BankAccount check;
+    (void)check.restore(std::move(r.value().state));
+    std::printf("  store@node%u: version=%llu balance=%lld\n", n,
+                static_cast<unsigned long long>(r.value().version),
+                static_cast<long long>(check.balance()));
+  }
+  std::printf("\nquickstart done.\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "actions/atomic_action.h"
+
+#include "actions/coordinator_log.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace gv::actions {
+
+ActionRuntime::ActionRuntime(rpc::RpcEndpoint& endpoint, std::uint64_t uid_seed,
+                             CoordinatorLog* log)
+    : endpoint_(endpoint), log_(log), uids_(uid_seed) {}
+
+AtomicAction::AtomicAction(ActionRuntime& rt, AtomicAction* parent)
+    : rt_(rt), parent_(parent), uid_(rt.new_uid()) {
+  rt_.counters().inc(parent ? "action.begin_nested" : "action.begin_top");
+}
+
+AtomicAction::~AtomicAction() {
+  // An action destroyed while Running was abandoned (e.g. its coroutine
+  // died with its node). Participants learn the outcome via presumed
+  // abort / cleanup protocols; nothing to do synchronously here.
+  if (state_ == ActionState::Running) rt_.counters().inc("action.abandoned");
+}
+
+const Uid& AtomicAction::top_level_uid() const noexcept {
+  const AtomicAction* a = this;
+  while (a->parent_) a = a->parent_;
+  return a->uid_;
+}
+
+void AtomicAction::enlist(ParticipantRef ref) {
+  if (std::find(participants_.begin(), participants_.end(), ref) == participants_.end())
+    participants_.push_back(std::move(ref));
+}
+
+void AtomicAction::delist(const ParticipantRef& ref) {
+  participants_.erase(std::remove(participants_.begin(), participants_.end(), ref),
+                      participants_.end());
+}
+
+sim::Task<Status> AtomicAction::commit() {
+  if (state_ != ActionState::Running) co_return Err::Aborted;
+  if (is_top_level()) {
+    Status s = co_await commit_top_level();
+    co_return s;
+  }
+  Status s = co_await commit_nested();
+  co_return s;
+}
+
+sim::Task<Status> AtomicAction::commit_nested() {
+  // Inheritance: every participant re-keys this action's records (locks,
+  // undo data, pending updates) to the parent, then the participant ref
+  // itself moves up so top-level 2PC reaches it.
+  for (const ParticipantRef& p : participants_) {
+    Buffer args;
+    args.pack_string(p.name).pack_uid(uid_).pack_uid(parent_->uid());
+    auto r = co_await rt_.endpoint().call(p.node, "txn", "nested_commit", std::move(args));
+    if (!r.ok()) {
+      // The participant is unreachable: its effects cannot be inherited,
+      // so the nested action must abort instead (its caller may retry).
+      rt_.counters().inc("action.nested_commit_failed");
+      co_return co_await abort();
+    }
+  }
+  for (ParticipantRef& p : participants_) parent_->enlist(std::move(p));
+  participants_.clear();
+  state_ = ActionState::Committed;
+  rt_.counters().inc("action.committed_nested");
+  co_return ok_status();
+}
+
+sim::Task<Status> AtomicAction::commit_top_level() {
+  // Phase 1: all participants must vote yes.
+  bool all_yes = true;
+  for (const ParticipantRef& p : participants_) {
+    Buffer args;
+    args.pack_string(p.name).pack_uid(uid_);
+    auto r = co_await rt_.endpoint().call(p.node, "txn", "prepare", std::move(args));
+    if (!r.ok()) {
+      all_yes = false;
+      break;
+    }
+    auto vote = r.value().unpack_bool();
+    if (!vote.ok() || !vote.value()) {
+      all_yes = false;
+      break;
+    }
+  }
+
+  if (!all_yes) {
+    rt_.counters().inc("action.prepare_failed");
+    co_return co_await abort();
+  }
+
+  // Decision point. The decision is recorded in the node's coordinator
+  // log so participants that crash before phase 2 reaches them can
+  // resolve their in-doubt prepared state by asking us. (The log itself
+  // is volatile: if this whole node dies here, the decision is lost and
+  // participants presume abort — the classic 2PC blocking case, resolved
+  // conservatively.)
+  state_ = ActionState::Committed;
+  if (rt_.coordinator_log() != nullptr) rt_.coordinator_log()->record(uid_, true);
+  rt_.counters().inc("action.committed_top");
+
+  // Phase 2.
+  for (const ParticipantRef& p : participants_) {
+    Buffer args;
+    args.pack_string(p.name).pack_uid(uid_);
+    auto r = co_await rt_.endpoint().call(p.node, "txn", "commit", std::move(args));
+    if (!r.ok()) rt_.counters().inc("action.commit_phase_miss");
+  }
+  co_return ok_status();
+}
+
+sim::Task<Status> AtomicAction::abort() {
+  if (state_ == ActionState::Aborted) co_return Err::Aborted;
+  state_ = ActionState::Aborted;
+  if (is_top_level() && rt_.coordinator_log() != nullptr)
+    rt_.coordinator_log()->record(uid_, false);
+  rt_.counters().inc(is_top_level() ? "action.aborted_top" : "action.aborted_nested");
+  const bool nested = !is_top_level();
+  for (const ParticipantRef& p : participants_) {
+    Buffer args;
+    args.pack_string(p.name).pack_uid(uid_);
+    const char* method = nested ? "nested_abort" : "abort";
+    auto r = co_await rt_.endpoint().call(p.node, "txn", method, std::move(args));
+    if (!r.ok()) rt_.counters().inc("action.abort_phase_miss");
+  }
+  co_return Err::Aborted;
+}
+
+// -------------------------------------------------------------- registry
+
+TxnRegistry::TxnRegistry(rpc::RpcEndpoint& endpoint) : endpoint_(endpoint) {
+  auto lookup = [this](Buffer& args) -> ServerParticipant* {
+    auto name = args.unpack_string();
+    if (!name.ok()) return nullptr;
+    auto it = participants_.find(name.value());
+    return it == participants_.end() ? nullptr : it->second;
+  };
+
+  endpoint_.register_method(
+      "txn", "prepare", [this, lookup](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+        ServerParticipant* p = lookup(args);
+        auto txn = args.unpack_uid();
+        if (!p || !txn.ok()) co_return Err::BadRequest;
+        const bool vote = co_await p->prepare(txn.value());
+        Buffer out;
+        out.pack_bool(vote);
+        co_return out;
+      });
+  endpoint_.register_method(
+      "txn", "commit", [this, lookup](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+        ServerParticipant* p = lookup(args);
+        auto txn = args.unpack_uid();
+        if (!p || !txn.ok()) co_return Err::BadRequest;
+        Status s = co_await p->commit(txn.value());
+        if (!s.ok()) co_return s.error();
+        co_return Buffer{};
+      });
+  endpoint_.register_method(
+      "txn", "abort", [this, lookup](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+        ServerParticipant* p = lookup(args);
+        auto txn = args.unpack_uid();
+        if (!p || !txn.ok()) co_return Err::BadRequest;
+        Status s = co_await p->abort(txn.value());
+        if (!s.ok()) co_return s.error();
+        co_return Buffer{};
+      });
+  endpoint_.register_method(
+      "txn", "nested_commit", [this, lookup](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+        ServerParticipant* p = lookup(args);
+        auto child = args.unpack_uid();
+        auto parent = args.unpack_uid();
+        if (!p || !child.ok() || !parent.ok()) co_return Err::BadRequest;
+        p->nested_commit(child.value(), parent.value());
+        co_return Buffer{};
+      });
+  endpoint_.register_method(
+      "txn", "nested_abort", [this, lookup](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+        ServerParticipant* p = lookup(args);
+        auto child = args.unpack_uid();
+        if (!p || !child.ok()) co_return Err::BadRequest;
+        p->nested_abort(child.value());
+        co_return Buffer{};
+      });
+}
+
+void TxnRegistry::add(const std::string& name, ServerParticipant* participant) {
+  participants_[name] = participant;
+}
+
+void TxnRegistry::remove(const std::string& name) { participants_.erase(name); }
+
+}  // namespace gv::actions

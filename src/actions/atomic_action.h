@@ -1,0 +1,151 @@
+// Atomic actions (atomic transactions), sec 2.2.
+//
+// Client-coordinated nested actions in the Arjuna style:
+//
+//  * An action tree is rooted at a top-level action. Nested actions
+//    enlist the same kinds of participants; on nested commit their
+//    effects (locks, undo records, pending updates) are inherited by the
+//    parent; on nested abort they are undone immediately. Only top-level
+//    commit makes effects durable and visible, via two-phase commit over
+//    all enlisted participants.
+//
+//  * Participants are remote services addressed as (node, service-name):
+//    object servers, object stores and the naming databases all register
+//    a ServerParticipant in their node's TxnRegistry, reachable through
+//    the generic "txn" RPC service.
+//
+//  * Nested TOP-LEVEL actions (sec 4.1.3(ii)) are ordinary top-level
+//    actions started while another action is running: they commit or
+//    abort independently of the enclosing action. The API models them
+//    simply as constructing a new root AtomicAction — the type system
+//    does not tie an action to the lexical scope it was started in.
+//
+// Failure model: the coordinator is the client process; if the client
+// crashes mid-protocol, participants that prepared but never heard the
+// outcome presume abort (stores discard shadows on recovery; lock owners
+// are cleaned up by the janitor / failure-detection protocols).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/rpc.h"
+#include "sim/task.h"
+#include "util/result.h"
+#include "util/stats.h"
+#include "util/uid.h"
+
+namespace gv::actions {
+
+using sim::NodeId;
+
+enum class ActionState { Running, Committed, Aborted };
+
+// Address of a remote participant: the TxnRegistry on `node` dispatches
+// to the ServerParticipant registered under `name`.
+struct ParticipantRef {
+  NodeId node;
+  std::string name;
+
+  friend bool operator==(const ParticipantRef& a, const ParticipantRef& b) noexcept {
+    return a.node == b.node && a.name == b.name;
+  }
+};
+
+class CoordinatorLog;
+
+// Per-client runtime shared by all actions of one client process.
+// `log` (optional, one per node) records every top-level decision so
+// in-doubt 2PC participants can resolve after a crash.
+class ActionRuntime {
+ public:
+  ActionRuntime(rpc::RpcEndpoint& endpoint, std::uint64_t uid_seed,
+                CoordinatorLog* log = nullptr);
+
+  Uid new_uid() { return uids_.next(); }
+  rpc::RpcEndpoint& endpoint() noexcept { return endpoint_; }
+  CoordinatorLog* coordinator_log() noexcept { return log_; }
+  Counters& counters() noexcept { return counters_; }
+
+ private:
+  rpc::RpcEndpoint& endpoint_;
+  CoordinatorLog* log_;
+  UidGenerator uids_;
+  Counters counters_;
+};
+
+class AtomicAction {
+ public:
+  // Top-level action (parent == nullptr) or nested action.
+  explicit AtomicAction(ActionRuntime& rt, AtomicAction* parent = nullptr);
+  ~AtomicAction();
+
+  AtomicAction(const AtomicAction&) = delete;
+  AtomicAction& operator=(const AtomicAction&) = delete;
+
+  const Uid& uid() const noexcept { return uid_; }
+  bool is_top_level() const noexcept { return parent_ == nullptr; }
+  AtomicAction* parent() const noexcept { return parent_; }
+  const Uid& top_level_uid() const noexcept;
+  ActionState state() const noexcept { return state_; }
+  ActionRuntime& runtime() noexcept { return rt_; }
+
+  // Enlist a remote participant (deduplicated).
+  void enlist(ParticipantRef ref);
+
+  // Remove a participant (e.g. a crashed object server whose state is
+  // volatile: it holds nothing durable this action needs to decide, and
+  // including it in the 2PC would needlessly abort a maskable failure).
+  void delist(const ParticipantRef& ref);
+
+  // Commit this action.
+  //  - nested: inherits everything into the parent (never fails: the
+  //    durable outcome is decided at the top level).
+  //  - top-level: two-phase commit across all participants. Returns
+  //    Err::Aborted if any participant voted no or was unreachable.
+  sim::Task<Status> commit();
+
+  // Abort this action (and conceptually its whole subtree).
+  sim::Task<Status> abort();
+
+ private:
+  sim::Task<Status> commit_top_level();
+  sim::Task<Status> commit_nested();
+
+  ActionRuntime& rt_;
+  AtomicAction* parent_;
+  Uid uid_;
+  ActionState state_ = ActionState::Running;
+  std::vector<ParticipantRef> participants_;
+};
+
+// --------------------------------------------------------------------
+// Server side.
+
+// Interface a transactional service implements so its node's TxnRegistry
+// can drive it through 2PC and nested-action inheritance.
+class ServerParticipant {
+ public:
+  virtual ~ServerParticipant() = default;
+  virtual sim::Task<bool> prepare(const Uid& txn) = 0;
+  virtual sim::Task<Status> commit(const Uid& txn) = 0;
+  virtual sim::Task<Status> abort(const Uid& txn) = 0;
+  virtual void nested_commit(const Uid& child, const Uid& parent) = 0;
+  virtual void nested_abort(const Uid& child) = 0;
+};
+
+// Per-node dispatcher for the "txn" RPC service.
+class TxnRegistry {
+ public:
+  explicit TxnRegistry(rpc::RpcEndpoint& endpoint);
+
+  void add(const std::string& name, ServerParticipant* participant);
+  void remove(const std::string& name);
+
+ private:
+  rpc::RpcEndpoint& endpoint_;
+  std::unordered_map<std::string, ServerParticipant*> participants_;
+};
+
+}  // namespace gv::actions

@@ -1,0 +1,48 @@
+// Coordinator outcome log for in-doubt participants.
+//
+// Two-phase commit has a classic window: a participant that crashes
+// after voting yes but before receiving the phase-2 decision cannot
+// resolve the transaction alone — presuming abort there LOSES a commit
+// the coordinator already decided (Gray [10]). On recovery such a
+// participant holds its prepared state as IN-DOUBT and asks the
+// coordinator.
+//
+// One CoordinatorLog lives per node and answers the "txnc.outcome" RPC
+// for every action coordinated from that node. The log is volatile: if
+// the coordinator node itself crashed, its in-flight decisions die with
+// it and Unknown (-> presume abort) is the right answer — a coordinator
+// that crashed AFTER deciding but before any participant learned the
+// decision is the unavoidable blocking case, which we resolve as abort
+// and count (the affected client never saw its commit() return).
+#pragma once
+
+#include <map>
+
+#include "rpc/rpc.h"
+#include "util/uid.h"
+
+namespace gv::actions {
+
+enum class TxnOutcome : std::uint8_t { Unknown = 0, Committed = 1, Aborted = 2 };
+
+class CoordinatorLog {
+ public:
+  explicit CoordinatorLog(rpc::RpcEndpoint& endpoint);
+
+  void record(const Uid& txn, bool committed) {
+    outcomes_[txn] = committed ? TxnOutcome::Committed : TxnOutcome::Aborted;
+  }
+  TxnOutcome outcome(const Uid& txn) const {
+    auto it = outcomes_.find(txn);
+    return it == outcomes_.end() ? TxnOutcome::Unknown : it->second;
+  }
+
+  // Ask the coordinator on `coordinator_node` for the outcome of `txn`.
+  static sim::Task<Result<TxnOutcome>> remote_outcome(rpc::RpcEndpoint& from,
+                                                      sim::NodeId coordinator_node, Uid txn);
+
+ private:
+  std::map<Uid, TxnOutcome> outcomes_;  // volatile by design
+};
+
+}  // namespace gv::actions

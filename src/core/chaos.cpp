@@ -1,0 +1,25 @@
+#include "core/chaos.h"
+
+namespace gv::core {
+
+void ChaosMonkey::start() {
+  for (sim::NodeId victim : cfg_.victims) sim_.spawn(run_victim(victim));
+}
+
+sim::Task<> ChaosMonkey::run_victim(sim::NodeId victim) {
+  while (!stopped_) {
+    co_await sim_.sleep(static_cast<sim::SimTime>(
+        rng_.exponential(static_cast<double>(cfg_.mean_uptime)) + 1));
+    if (stopped_) co_return;
+    if (cluster_.node(victim).up()) {
+      cluster_.node(victim).crash();
+      ++crashes_;
+    }
+    co_await sim_.sleep(static_cast<sim::SimTime>(
+        rng_.exponential(static_cast<double>(cfg_.mean_downtime)) + 1));
+    if (stopped_) co_return;
+    cluster_.node(victim).recover();
+  }
+}
+
+}  // namespace gv::core

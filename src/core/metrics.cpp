@@ -1,0 +1,50 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+
+namespace gv::core {
+
+std::string Table::fmt(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::fmt_pct(double fraction, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void Table::print(const std::string& title) const {
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    std::printf("%s  ", std::string(widths[c], '-').c_str());
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_counters(const Counters& counters, const std::string& prefix,
+                    const std::string& title) {
+  std::printf("\n-- %s --\n", title.c_str());
+  for (const auto& [name, value] : counters.all()) {
+    if (name.rfind(prefix, 0) == 0)
+      std::printf("  %-40s %llu\n", name.c_str(), static_cast<unsigned long long>(value));
+  }
+}
+
+}  // namespace gv::core

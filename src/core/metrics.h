@@ -1,0 +1,36 @@
+// Small reporting helpers shared by the benchmark harnesses: fixed-width
+// tables whose rows mirror the series the experiments produce.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace gv::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  // Render to stdout with aligned columns.
+  void print(const std::string& title = "") const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Print every counter whose name starts with `prefix`.
+void print_counters(const Counters& counters, const std::string& prefix,
+                    const std::string& title);
+
+}  // namespace gv::core

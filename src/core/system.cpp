@@ -1,0 +1,108 @@
+#include "core/system.h"
+
+namespace gv::core {
+
+ReplicaSystem::ReplicaSystem(SystemConfig cfg)
+    : cfg_(cfg),
+      sim_(cfg.seed),
+      cluster_(sim_),
+      net_(sim_, cluster_, cfg.net),
+      gc_(sim_, cluster_, net_) {
+  cluster_.add_nodes(cfg_.nodes);
+  fabric_ = std::make_unique<rpc::RpcFabric>(cluster_, net_, cfg_.rpc);
+  replication::register_stock_classes(classes_);
+
+  for (NodeId id = 0; id < cfg_.nodes; ++id) {
+    txns_.push_back(std::make_unique<actions::TxnRegistry>(fabric_->endpoint(id)));
+    coord_logs_.push_back(std::make_unique<actions::CoordinatorLog>(fabric_->endpoint(id)));
+    stores_.push_back(std::make_unique<store::ObjectStore>(cluster_.node(id),
+                                                           fabric_->endpoint(id)));
+    store_parts_.push_back(std::make_unique<store::StoreTxnParticipant>(*stores_.back()));
+    txns_.back()->add(store::kStoreService, store_parts_.back().get());
+    hosts_.push_back(std::make_unique<replication::ObjectServerHost>(
+        cluster_.node(id), fabric_->endpoint(id), *txns_.back(), gc_, classes_));
+    recovery_.push_back(std::make_unique<replication::RecoveryDaemon>(
+        cluster_.node(id), fabric_->endpoint(id), *stores_.back(), naming_node(),
+        hosts_.back().get()));
+  }
+
+  gvdb_ = std::make_unique<naming::GroupViewDb>(cluster_.node(naming_node()),
+                                                *stores_[naming_node()],
+                                                fabric_->endpoint(naming_node()),
+                                                *txns_[naming_node()], cfg_.naming,
+                                                cfg_.exclude_policy);
+  janitor_ = std::make_unique<naming::UseListJanitor>(gvdb_->servers(),
+                                                      fabric_->endpoint(naming_node()),
+                                                      cfg_.janitor_period);
+  if (cfg_.start_janitor) janitor_->start();
+}
+
+Uid ReplicaSystem::define_object(const std::string& name, const std::string& class_name,
+                                 Buffer initial_state, std::vector<NodeId> sv,
+                                 std::vector<NodeId> st, ReplicationPolicy policy,
+                                 std::size_t servers_wanted) {
+  const Uid uid = uids_.next();
+  for (NodeId store_node : st)
+    (void)stores_.at(store_node)->write_direct(uid, /*version=*/1, initial_state);
+  gvdb_->create_object(uid, sv, st);
+  for (NodeId server_node : sv) recovery_.at(server_node)->add_served_object(uid);
+  names_[name] = uid;
+  specs_[uid] = ObjectSpec{uid, class_name, policy, servers_wanted};
+  return uid;
+}
+
+Result<Uid> ReplicaSystem::resolve(const std::string& name) const {
+  auto it = names_.find(name);
+  if (it == names_.end()) return Err::NotFound;
+  return it->second;
+}
+
+Result<ObjectSpec> ReplicaSystem::spec_of(const Uid& uid) const {
+  auto it = specs_.find(uid);
+  if (it == specs_.end()) return Err::NotFound;
+  return it->second;
+}
+
+ClientSession* ReplicaSystem::client(NodeId node) { return client(node, cfg_.scheme); }
+
+ClientSession* ReplicaSystem::client(NodeId node, naming::Scheme scheme) {
+  sessions_.push_back(std::make_unique<ClientSession>(*this, node, scheme));
+  return sessions_.back().get();
+}
+
+Counters ReplicaSystem::aggregate_counters() const {
+  Counters out;
+  auto merge = [&out](const Counters& c) {
+    for (const auto& [name, value] : c.all()) out.inc(name, value);
+  };
+  merge(const_cast<sim::Network&>(net_).counters());
+  merge(const_cast<rpc::GroupComm&>(gc_).counters());
+  for (const auto& s : stores_) merge(const_cast<store::ObjectStore&>(*s).counters());
+  for (const auto& h : hosts_)
+    merge(const_cast<replication::ObjectServerHost&>(*h).counters());
+  for (const auto& r : recovery_)
+    merge(const_cast<replication::RecoveryDaemon&>(*r).counters());
+  merge(const_cast<naming::GroupViewDb&>(*gvdb_).servers().counters());
+  merge(const_cast<naming::GroupViewDb&>(*gvdb_).states().counters());
+  // Naming-entry lock traffic, re-namespaced so it is distinguishable
+  // from object-level lock counters.
+  auto merge_prefixed = [&out](const Counters& c, const std::string& prefix) {
+    for (const auto& [name, value] : c.all()) out.inc(prefix + name, value);
+  };
+  merge_prefixed(const_cast<naming::GroupViewDb&>(*gvdb_).servers().locks().counters(),
+                 "osdb.");
+  merge_prefixed(const_cast<naming::GroupViewDb&>(*gvdb_).states().locks().counters(),
+                 "ostdb.");
+  merge(const_cast<naming::UseListJanitor&>(*janitor_).counters());
+  for (const auto& s : sessions_) {
+    merge(const_cast<ClientSession&>(*s).counters());
+    merge(const_cast<ClientSession&>(*s).runtime().counters());
+    merge(const_cast<ClientSession&>(*s).activator().counters());
+    merge(const_cast<ClientSession&>(*s).activator().binder().counters());
+    merge(const_cast<ClientSession&>(*s).commit_processor().counters());
+    merge(const_cast<ClientSession&>(*s).group_invoker().counters());
+  }
+  return out;
+}
+
+}  // namespace gv::core

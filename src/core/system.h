@@ -1,0 +1,133 @@
+// ReplicaSystem: the composition root and public entry point.
+//
+// Builds the whole simulated distributed system — cluster, network, RPC
+// fabric, object stores, object server hosts, the group view (naming)
+// database, janitor and recovery daemons — and exposes the object
+// life-cycle API a downstream application uses:
+//
+//   ReplicaSystem sys{config};
+//   Uid acct = sys.define_object("acct-A", "bank", initial, {2,3,4}, {2,3,4},
+//                                ReplicationPolicy::Active, 3);
+//   auto client = sys.client(1);
+//   sys.sim().spawn([&]() -> sim::Task<> {
+//     auto txn = client->begin();
+//     co_await txn->invoke(acct, "deposit", args, LockMode::Write);
+//     co_await txn->commit();
+//   }());
+//   sys.sim().run();
+//
+// Node 0 is by convention the naming node (the paper assumes the naming
+// service is always available; keep node 0 out of any crash schedule
+// unless you are specifically testing naming-database recovery).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "actions/coordinator_log.h"
+#include "core/transaction.h"
+#include "naming/group_view_db.h"
+#include "naming/janitor.h"
+#include "replication/activator.h"
+#include "replication/commit_processor.h"
+#include "replication/object_server.h"
+#include "replication/recovery.h"
+#include "replication/state_machine.h"
+#include "rpc/group_comm.h"
+#include "rpc/rpc.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "store/object_store.h"
+
+namespace gv::core {
+
+using replication::ObjectSpec;
+using replication::ReplicationPolicy;
+using sim::NodeId;
+
+struct SystemConfig {
+  std::size_t nodes = 8;
+  std::uint64_t seed = 1;
+  sim::NetConfig net;
+  rpc::RpcConfig rpc;
+  naming::NamingConfig naming;
+  naming::Scheme scheme = naming::Scheme::IndependentTopLevel;
+  naming::ExcludePolicy exclude_policy = naming::ExcludePolicy::ExcludeWriteLock;
+  // The janitor's periodic loop keeps the event queue non-empty; leave it
+  // off unless the workload needs crashed-client cleanup, and drive the
+  // simulation with run_until() (or janitor().stop() before run()).
+  bool start_janitor = false;
+  sim::SimTime janitor_period = 100 * sim::kMillisecond;
+};
+
+class ReplicaSystem {
+ public:
+  explicit ReplicaSystem(SystemConfig cfg = {});
+
+  // ---- infrastructure access -------------------------------------------
+  sim::Simulator& sim() noexcept { return sim_; }
+  sim::Cluster& cluster() noexcept { return cluster_; }
+  sim::Network& net() noexcept { return net_; }
+  rpc::GroupComm& gc() noexcept { return gc_; }
+  rpc::RpcEndpoint& endpoint(NodeId id) { return fabric_->endpoint(id); }
+  naming::GroupViewDb& gvdb() noexcept { return *gvdb_; }
+  store::ObjectStore& store_at(NodeId id) { return *stores_.at(id); }
+  replication::ObjectServerHost& host_at(NodeId id) { return *hosts_.at(id); }
+  replication::RecoveryDaemon& recovery_at(NodeId id) { return *recovery_.at(id); }
+  actions::CoordinatorLog& coordinator_log_at(NodeId id) { return *coord_logs_.at(id); }
+  replication::ClassRegistry& classes() noexcept { return classes_; }
+  naming::UseListJanitor& janitor() noexcept { return *janitor_; }
+  NodeId naming_node() const noexcept { return 0; }
+  const SystemConfig& config() const noexcept { return cfg_; }
+
+  // ---- object life cycle -------------------------------------------------
+  // Define a persistent object: writes its initial state (version 1) to
+  // every store in `st`, registers it with the group view database, and
+  // records the server manifest for recovery. Synchronous setup-time API
+  // (the simulated "installation" of the application).
+  Uid define_object(const std::string& name, const std::string& class_name, Buffer initial_state,
+                    std::vector<NodeId> sv, std::vector<NodeId> st, ReplicationPolicy policy,
+                    std::size_t servers_wanted);
+
+  // User-level name -> UID mapping (the naming half of "naming and
+  // binding": a simple committed map, looked up before binding).
+  Result<Uid> resolve(const std::string& name) const;
+  Result<ObjectSpec> spec_of(const Uid& uid) const;
+
+  // ---- clients -----------------------------------------------------------
+  // A client session on `node` using the system-configured scheme (or an
+  // override). Sessions are long-lived; transactions are created from
+  // them.
+  ClientSession* client(NodeId node);
+  ClientSession* client(NodeId node, naming::Scheme scheme);
+
+  // Aggregate counters across all components (for experiment reports).
+  Counters aggregate_counters() const;
+
+ private:
+  SystemConfig cfg_;
+  sim::Simulator sim_;
+  sim::Cluster cluster_;
+  sim::Network net_;
+  rpc::GroupComm gc_;
+  std::unique_ptr<rpc::RpcFabric> fabric_;
+  replication::ClassRegistry classes_;
+  std::vector<std::unique_ptr<actions::TxnRegistry>> txns_;
+  std::vector<std::unique_ptr<actions::CoordinatorLog>> coord_logs_;
+  std::vector<std::unique_ptr<store::ObjectStore>> stores_;
+  std::vector<std::unique_ptr<store::StoreTxnParticipant>> store_parts_;
+  std::vector<std::unique_ptr<replication::ObjectServerHost>> hosts_;
+  std::vector<std::unique_ptr<replication::RecoveryDaemon>> recovery_;
+  std::unique_ptr<naming::GroupViewDb> gvdb_;
+  std::unique_ptr<naming::UseListJanitor> janitor_;
+
+  std::unordered_map<std::string, Uid> names_;
+  std::unordered_map<Uid, ObjectSpec> specs_;
+  UidGenerator uids_{0x0B7EC7};
+
+  std::vector<std::unique_ptr<ClientSession>> sessions_;
+};
+
+}  // namespace gv::core

@@ -1,0 +1,122 @@
+#include "core/transaction.h"
+
+#include "core/system.h"
+
+namespace gv::core {
+
+ClientSession::ClientSession(ReplicaSystem& sys, NodeId node, naming::Scheme scheme)
+    : sys_(sys),
+      node_(node),
+      scheme_(scheme),
+      runtime_(sys.endpoint(node), /*uid_seed=*/0xC0DE0000ull + node,
+               &sys.coordinator_log_at(node)),
+      activator_(runtime_, sys.naming_node(), sys.gc(), scheme),
+      commit_(runtime_, sys.naming_node()),
+      ginv_(sys.endpoint(node), sys.gc()) {}
+
+std::unique_ptr<Transaction> ClientSession::begin() {
+  counters_.inc("session.txn_begin");
+  return std::unique_ptr<Transaction>(new Transaction(*this));
+}
+
+Transaction::Transaction(ClientSession& session) : Transaction(session, nullptr) {}
+
+Transaction::Transaction(ClientSession& session, Transaction* parent)
+    : session_(session),
+      parent_(parent),
+      action_(session.runtime(), parent ? &parent->action_ : nullptr) {}
+
+std::unique_ptr<Transaction> Transaction::nest() {
+  return std::unique_ptr<Transaction>(new Transaction(session_, this));
+}
+
+sim::Task<Result<ActiveBinding*>> Transaction::bound(Uid object) {
+  auto it = bindings_.find(object);
+  if (it != bindings_.end()) co_return &it->second;
+  // Inherit the parent's binding when nested (the parent's locks and
+  // participants already cover it; re-binding would double-count use
+  // lists).
+  for (Transaction* p = parent_; p != nullptr; p = p->parent_) {
+    auto pit = p->bindings_.find(object);
+    if (pit != p->bindings_.end()) co_return &pit->second;
+  }
+  auto spec = session_.system().spec_of(object);
+  if (!spec.ok()) co_return spec.error();
+  auto binding = co_await session_.activator().bind_and_activate(spec.value(), action_);
+  if (!binding.ok()) co_return binding.error();
+  auto [pos, inserted] = bindings_.emplace(object, std::move(binding).value());
+  (void)inserted;
+  co_return &pos->second;
+}
+
+sim::Task<Result<Buffer>> Transaction::invoke(Uid object, std::string op, Buffer args,
+                                              LockMode mode) {
+  if (finished()) co_return Err::Aborted;
+  auto b = co_await bound(object);
+  if (!b.ok()) co_return b.error();
+  ActiveBinding& ab = *b.value();
+
+  // Even when the binding is inherited from an ancestor, THIS action must
+  // enlist the servers: a nested abort has to reach them to restore the
+  // nested before-images.
+  for (sim::NodeId s : ab.bind.servers) action_.enlist({s, replication::kObjSrvService});
+
+  // Ancestor chain for lock inheritance at the servers.
+  std::vector<Uid> ancestors;
+  for (const actions::AtomicAction* p = action_.parent(); p != nullptr; p = p->parent())
+    ancestors.push_back(p->uid());
+
+  if (ab.spec.policy == ReplicationPolicy::Active) {
+    // Multicast to the replica group; first reply wins (sec 2.3(2)(i)).
+    co_return co_await session_.group_invoker().invoke(
+        replication::group_name(object), object, action_.uid(), std::move(ancestors), mode,
+        std::move(op), std::move(args), session_.system().config().rpc.call_timeout);
+  }
+  // Single-copy passive / coordinator-cohort: invoke the primary.
+  co_return co_await replication::objsrv_invoke(session_.runtime().endpoint(), ab.primary, object,
+                                                action_.uid(), std::move(ancestors), mode,
+                                                std::move(op), std::move(args));
+}
+
+sim::Task<Status> Transaction::commit() {
+  if (finished()) co_return Err::Aborted;
+  if (parent_ != nullptr) {
+    // Nested commit: effects (locks, undo data, staged writes) inherit
+    // into the parent; the parent also adopts our bindings so its commit
+    // processing checkpoints objects we modified.
+    Status s = co_await action_.commit();
+    if (s.ok()) {
+      for (auto& [uid, binding] : bindings_)
+        parent_->bindings_.emplace(uid, std::move(binding));
+      bindings_.clear();
+    }
+    co_return s;
+  }
+
+  std::vector<ActiveBinding*> bs;
+  bs.reserve(bindings_.size());
+  for (auto& [uid, binding] : bindings_) bs.push_back(&binding);
+  Status s = co_await session_.commit_processor().commit(action_, bs);
+  session_.counters().inc(s.ok() ? "session.txn_committed" : "session.txn_aborted");
+  co_await release_use_lists();
+  co_return s;
+}
+
+sim::Task<Status> Transaction::abort() {
+  if (finished()) co_return Err::Aborted;
+  Status s = co_await action_.abort();
+  if (parent_ == nullptr) {
+    session_.counters().inc("session.txn_aborted");
+    co_await release_use_lists();
+  }
+  co_return s;
+}
+
+sim::Task<> Transaction::release_use_lists() {
+  // Fig 7: the Decrement runs as its own top-level action AFTER the
+  // client action has terminated (commit or abort alike).
+  for (auto& [uid, binding] : bindings_)
+    (void)co_await session_.activator().binder().unbind(uid, binding.bind);
+}
+
+}  // namespace gv::core

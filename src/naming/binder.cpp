@@ -1,0 +1,164 @@
+#include "naming/binder.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace gv::naming {
+
+const char* to_string(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::StandardNested: return "standard-nested";
+    case Scheme::IndependentTopLevel: return "independent-top-level";
+    case Scheme::NestedTopLevel: return "nested-top-level";
+  }
+  return "?";
+}
+
+sim::Task<Result<BindResult>> Binder::bind(Uid object, std::size_t want,
+                                           actions::AtomicAction* client_action, Probe probe) {
+  counters_.inc("bind.attempts");
+  if (scheme_ == Scheme::StandardNested) {
+    if (client_action == nullptr) co_return Err::BadRequest;  // S1 needs the client action
+    co_return co_await bind_standard(object, want, *client_action, probe);
+  }
+  co_return co_await bind_enhanced(object, want, probe);
+}
+
+sim::Task<Result<BindResult>> Binder::bind_standard(Uid object, std::size_t want,
+                                                    actions::AtomicAction& client_action,
+                                                    Probe& probe) {
+  // Fig 6: GetServer as a nested action; the read lock survives into the
+  // client action via inheritance.
+  actions::AtomicAction nested{rt_, &client_action};
+  auto view = co_await osdb_get_server(rt_.endpoint(), naming_node_, object, nested.uid());
+  nested.enlist({naming_node_, kOsdbService});
+  if (!view.ok()) {
+    (void)co_await nested.abort();
+    counters_.inc("bind.getserver_failed");
+    co_return view.error();
+  }
+  Status nc = co_await nested.commit();
+  if (!nc.ok()) co_return Err::Aborted;
+
+  // Fixed selection algorithm: walk Sv in database order. Sv is the
+  // *static* set of potential servers, so dead nodes are discovered only
+  // by failing to bind to them — the scheme's documented shortcoming.
+  BindResult out;
+  out.scheme = scheme_;
+  for (NodeId node : view.value().sv) {
+    if (out.servers.size() >= want) break;
+    switch (co_await probe(node)) {
+      case ProbeResult::Ok:
+        out.servers.push_back(node);
+        break;
+      case ProbeResult::Dead:
+        out.failed.push_back(node);
+        counters_.inc("bind.hard_way_failure");
+        break;
+      case ProbeResult::Busy:
+        counters_.inc("bind.busy_server_skipped");
+        break;
+    }
+  }
+  if (out.servers.empty()) {
+    counters_.inc("bind.no_replicas");
+    co_return Err::NoReplicas;
+  }
+  counters_.inc("bind.bound");
+  co_return out;
+}
+
+sim::Task<Result<BindResult>> Binder::bind_enhanced(Uid object, std::size_t want, Probe& probe) {
+  // Figs 7/8: an independent (or nested) top-level action updates the
+  // database while binding, keeping Sv current.
+  actions::AtomicAction act{rt_};
+  counters_.inc(scheme_ == Scheme::IndependentTopLevel ? "bind.independent_action"
+                                                       : "bind.nested_toplevel_action");
+  // Write lock up front (update-mode read): this action WILL Increment
+  // and possibly Remove; starting with a shared read lock would deadlock
+  // two concurrent binders at promotion time.
+  auto view =
+      co_await osdb_get_server(rt_.endpoint(), naming_node_, object, act.uid(), true);
+  act.enlist({naming_node_, kOsdbService});
+  if (!view.ok()) {
+    (void)co_await act.abort();
+    counters_.inc("bind.getserver_failed");
+    co_return view.error();
+  }
+
+  // Candidate order: if any use list is non-empty the object is already
+  // active — bind only to servers with non-zero counters (sec 4.1.3(i));
+  // otherwise we are free to select any subset of Sv.
+  std::vector<NodeId> candidates;
+  if (!view.value().quiescent()) {
+    counters_.inc("bind.join_active_group");
+    for (NodeId node : view.value().sv)
+      if (view.value().in_use(node)) candidates.push_back(node);
+  } else {
+    candidates = view.value().sv;
+  }
+
+  BindResult out;
+  out.scheme = scheme_;
+  for (NodeId node : candidates) {
+    if (out.servers.size() >= want) break;
+    switch (co_await probe(node)) {
+      case ProbeResult::Ok:
+        out.servers.push_back(node);
+        break;
+      case ProbeResult::Dead:
+        out.failed.push_back(node);
+        counters_.inc("bind.probe_failure");
+        break;
+      case ProbeResult::Busy:
+        counters_.inc("bind.busy_server_skipped");
+        break;
+    }
+  }
+
+  // Remove the failed servers so later clients never retry them; then
+  // record our presence in the use lists.
+  for (NodeId node : out.failed) {
+    Status s = co_await osdb_remove(rt_.endpoint(), naming_node_, object, node, act.uid());
+    if (s.ok()) counters_.inc("bind.removed_failed_server");
+  }
+  if (!out.servers.empty()) {
+    Status s = co_await osdb_increment(rt_.endpoint(), naming_node_, object,
+                                       rt_.endpoint().node_id(), out.servers, act.uid());
+    if (!s.ok()) {
+      (void)co_await act.abort();
+      counters_.inc("bind.increment_failed");
+      co_return s.error();
+    }
+  }
+
+  Status c = co_await act.commit();
+  if (!c.ok()) {
+    counters_.inc("bind.action_aborted");
+    co_return Err::Aborted;
+  }
+  if (out.servers.empty()) {
+    counters_.inc("bind.no_replicas");
+    co_return Err::NoReplicas;  // the Removes still committed above
+  }
+  counters_.inc("bind.bound");
+  co_return out;
+}
+
+sim::Task<Status> Binder::unbind(Uid object, const BindResult& binding) {
+  if (scheme_ == Scheme::StandardNested) co_return ok_status();  // lock release did the work
+  if (binding.servers.empty()) co_return ok_status();
+  actions::AtomicAction act{rt_};
+  Status s = co_await osdb_decrement(rt_.endpoint(), naming_node_, object,
+                                     rt_.endpoint().node_id(), binding.servers, act.uid());
+  act.enlist({naming_node_, kOsdbService});
+  if (!s.ok()) {
+    (void)co_await act.abort();
+    co_return s;
+  }
+  counters_.inc("bind.decremented");
+  co_return co_await act.commit();
+}
+
+}  // namespace gv::naming

@@ -1,0 +1,141 @@
+#include "naming/db_base.h"
+
+#include "util/log.h"
+
+namespace gv::naming {
+
+NamingDbBase::NamingDbBase(sim::Node& node, store::ObjectStore& store,
+                           rpc::RpcEndpoint& endpoint, Uid db_uid, NamingConfig cfg)
+    : node_(node),
+      store_(store),
+      endpoint_(endpoint),
+      db_uid_(db_uid),
+      cfg_(cfg),
+      locks_(node.sim()) {
+  node_.on_recover([this] {
+    // The database is a persistent object: rebuild from the local store.
+    // In-flight actions died with the node; their locks and undo records
+    // were volatile, so the reloaded committed state is exactly right.
+    undo_.clear();
+    owners_.clear();
+    locks_.reset();
+    reload();
+  });
+}
+
+void NamingDbBase::note_activity(const Uid& action, NodeId owner) {
+  auto& rec = owners_[action];
+  rec.node = owner;
+  rec.last_seen = node_.sim().now();
+}
+
+void NamingDbBase::trigger_orphan_sweep() {
+  if (sweep_in_progress_) return;
+  sweep_in_progress_ = true;
+  node_.sim().spawn([](NamingDbBase& self) -> sim::Task<> {
+    (void)co_await self.sweep_orphans();
+    self.sweep_in_progress_ = false;
+  }(*this));
+}
+
+sim::Task<std::uint32_t> NamingDbBase::sweep_orphans() {
+  std::uint32_t aborted = 0;
+  // Snapshot: the pings below suspend, and commits may mutate owners_.
+  std::vector<std::pair<Uid, ActionOwner>> snapshot(owners_.begin(), owners_.end());
+  const std::uint64_t my_epoch = node_.epoch();
+  for (const auto& [action, owner] : snapshot) {
+    if (!node_.up() || node_.epoch() != my_epoch) co_return aborted;
+    if (owners_.find(action) == owners_.end()) continue;  // finished meanwhile
+    const bool aged = node_.sim().now() - owner.last_seen > cfg_.orphan_action_age;
+    bool dead = false;
+    if (!aged) {
+      auto ping = co_await endpoint_.call(owner.node, "sys", "ping", Buffer{},
+                                          20 * sim::kMillisecond);
+      dead = !ping.ok();
+    }
+    if (!aged && !dead) continue;
+    // Presumed abort: the client process (or its whole node) is gone —
+    // or it outlived any plausible action lifetime. Roll back locally.
+    auto it = owners_.find(action);
+    if (it == owners_.end()) continue;
+    rollback(action);
+    locks_.release_all(action);
+    owners_.erase(it);
+    ++aborted;
+    counters_.inc(aged ? "db.orphan_aged_out" : "db.orphan_owner_dead");
+  }
+  co_return aborted;
+}
+
+sim::Task<bool> NamingDbBase::prepare(const Uid&) {
+  // Mutations were validated (locks + entry checks) when buffered; a
+  // naming database can always complete a commit locally.
+  co_return true;
+}
+
+sim::Task<Status> NamingDbBase::commit(const Uid& txn) {
+  undo_.erase(txn);
+  owners_.erase(txn);
+  locks_.release_all(txn);
+  persist();
+  counters_.inc("db.commit");
+  co_return ok_status();
+}
+
+sim::Task<Status> NamingDbBase::abort(const Uid& txn) {
+  rollback(txn);
+  owners_.erase(txn);
+  locks_.release_all(txn);
+  counters_.inc("db.abort");
+  co_return ok_status();
+}
+
+void NamingDbBase::nested_commit(const Uid& child, const Uid& parent) {
+  locks_.transfer(child, parent);
+  auto it = undo_.find(child);
+  if (it != undo_.end()) {
+    auto& dst = undo_[parent];
+    // Append: rollback runs in reverse, so the child's undos (appended
+    // last) are undone first — correct nesting order.
+    dst.insert(dst.end(), std::make_move_iterator(it->second.begin()),
+               std::make_move_iterator(it->second.end()));
+    undo_.erase(it);
+  }
+  // The parent inherits ownership tracking from the child.
+  auto oit = owners_.find(child);
+  if (oit != owners_.end()) {
+    note_activity(parent, oit->second.node);
+    owners_.erase(oit);
+  }
+  counters_.inc("db.nested_commit");
+}
+
+void NamingDbBase::nested_abort(const Uid& child) {
+  rollback(child);
+  owners_.erase(child);
+  locks_.release_all(child);
+  counters_.inc("db.nested_abort");
+}
+
+void NamingDbBase::rollback(const Uid& txn) {
+  auto it = undo_.find(txn);
+  if (it == undo_.end()) return;
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) (*rit)();
+  undo_.erase(it);
+}
+
+void NamingDbBase::persist() {
+  ++persist_version_;
+  // The database lives on its own node's store; write-through on commit.
+  (void)store_.write_direct(db_uid_, persist_version_, serialize());
+}
+
+void NamingDbBase::reload() {
+  store_.clear_suspect(db_uid_);  // the db validates itself by reloading
+  auto r = store_.read(db_uid_);
+  if (!r.ok()) return;  // nothing persisted yet
+  persist_version_ = r.value().version;
+  deserialize(r.value().state);
+}
+
+}  // namespace gv::naming

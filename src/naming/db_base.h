@@ -1,0 +1,115 @@
+// Common machinery for the two naming-and-binding databases (sec 4).
+//
+// The paper builds the naming service "out of one or more persistent
+// objects", so its state transitions are performed under the control of
+// atomic actions (sec 3.1). Concretely each database here is:
+//
+//  * lock-controlled: one lock per object entry (sec 4.1: "each such list
+//    is concurrency controlled independently using locks"), managed by a
+//    LockManager supporting READ / WRITE / EXCLUDE-WRITE;
+//  * transactional: mutations apply immediately under the protecting
+//    lock and push an undo record; abort rolls back, nested commit
+//    re-keys undo records and locks to the parent action (Arjuna
+//    recovery-record style);
+//  * persistent: on top-level commit the database serialises itself into
+//    the local ObjectStore (it is itself a persistent object).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "actions/atomic_action.h"
+#include "actions/lock_manager.h"
+#include "rpc/rpc.h"
+#include "store/object_store.h"
+#include "util/uid.h"
+
+namespace gv::naming {
+
+using sim::NodeId;
+
+struct NamingConfig {
+  // How long a database operation waits for an entry lock before giving
+  // up with LockRefused (the caller's action then aborts). Kept below the
+  // RPC call timeout so the caller learns the precise reason.
+  sim::SimTime lock_wait = 30 * sim::kMillisecond;
+
+  // Orphan cleanup (sec 4.1.3: "failure detection and cleanup protocols
+  // will be required"): an action whose client node no longer answers
+  // pings, or that has been idle longer than this, is presumed dead and
+  // aborted locally (rollback + lock release). Without it a client that
+  // crashes mid-action wedges the entry locks it held forever. Sweeps
+  // are event-driven: each refused lock wait triggers one.
+  sim::SimTime orphan_action_age = 3 * sim::kSecond;
+};
+
+class NamingDbBase : public actions::ServerParticipant {
+ public:
+  NamingDbBase(sim::Node& node, store::ObjectStore& store, rpc::RpcEndpoint& endpoint,
+               Uid db_uid, NamingConfig cfg);
+
+  // ---- ServerParticipant -------------------------------------------------
+  sim::Task<bool> prepare(const Uid& txn) override;
+  sim::Task<Status> commit(const Uid& txn) override;
+  sim::Task<Status> abort(const Uid& txn) override;
+  void nested_commit(const Uid& child, const Uid& parent) override;
+  void nested_abort(const Uid& child) override;
+
+  actions::LockManager& locks() noexcept { return locks_; }
+  Counters& counters() noexcept { return counters_; }
+  NamingConfig& config() noexcept { return cfg_; }
+
+  // Number of actions with live undo records (diagnostics).
+  std::size_t active_actions() const noexcept { return undo_.size(); }
+
+  // Record that `action`, owned by a client on `owner`, touched this
+  // database (called by the RPC glue; drives orphan detection).
+  void note_activity(const Uid& action, NodeId owner);
+
+  // Abort every action whose owner is dead or that aged out. Returns the
+  // number of orphans aborted. Normally triggered automatically by lock
+  // contention; public for tests.
+  sim::Task<std::uint32_t> sweep_orphans();
+
+ protected:
+  ~NamingDbBase() override = default;
+
+  void push_undo(const Uid& txn, std::function<void()> fn) { undo_[txn].push_back(std::move(fn)); }
+  void rollback(const Uid& txn);
+
+  // Write-through of the current committed state; subclasses call this
+  // from create() so the store always holds an authoritative image to
+  // reload after a crash.
+  void persist_now() { persist(); }
+
+  // Subclass state (de)hydration for persistence / recovery.
+  virtual Buffer serialize() const = 0;
+  virtual void deserialize(Buffer state) = 0;
+
+  // Schedule an orphan sweep if none is running (fire-and-forget).
+  void trigger_orphan_sweep();
+
+  sim::Node& node_;
+  store::ObjectStore& store_;
+  rpc::RpcEndpoint& endpoint_;
+  Uid db_uid_;
+  NamingConfig cfg_;
+  actions::LockManager locks_;
+  std::uint64_t persist_version_ = 0;
+  std::map<Uid, std::vector<std::function<void()>>> undo_;
+  struct ActionOwner {
+    NodeId node = 0;
+    sim::SimTime last_seen = 0;
+  };
+  std::map<Uid, ActionOwner> owners_;
+  bool sweep_in_progress_ = false;
+  Counters counters_;
+
+
+ private:
+  void persist();
+  void reload();
+};
+
+}  // namespace gv::naming

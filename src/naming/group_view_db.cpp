@@ -1,0 +1,3 @@
+#include "naming/group_view_db.h"
+
+// Header-only facade; TU kept for build-graph symmetry and future growth.

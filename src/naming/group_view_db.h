@@ -1,0 +1,45 @@
+// The group view database.
+//
+// "The two databases have been implemented as a single Arjuna object,
+// referred to as the group view database." (sec 5). This facade owns an
+// ObjectServerDb and an ObjectStateDb colocated on one naming node and
+// provides the combined object-creation entry point. The paper assumes
+// the naming service is always available (sec 3.1); the chaos harness
+// therefore never crashes the naming node, though the databases do
+// persist themselves and recover correctly if it happens.
+#pragma once
+
+#include <memory>
+
+#include "naming/object_server_db.h"
+#include "naming/object_state_db.h"
+
+namespace gv::naming {
+
+class GroupViewDb {
+ public:
+  GroupViewDb(sim::Node& node, store::ObjectStore& store, rpc::RpcEndpoint& endpoint,
+              actions::TxnRegistry& txns, NamingConfig cfg = {},
+              ExcludePolicy policy = ExcludePolicy::ExcludeWriteLock)
+      : servers_(node, store, endpoint, txns, cfg),
+        states_(node, store, endpoint, txns, cfg, policy),
+        node_id_(node.id()) {}
+
+  // Register a new persistent object with its server and store node sets
+  // (|Sv| and |St| cardinalities select the regimes of figs 2-5).
+  void create_object(const Uid& object, std::vector<NodeId> sv, std::vector<NodeId> st) {
+    servers_.create(object, std::move(sv));
+    states_.create(object, std::move(st));
+  }
+
+  ObjectServerDb& servers() noexcept { return servers_; }
+  ObjectStateDb& states() noexcept { return states_; }
+  NodeId node_id() const noexcept { return node_id_; }
+
+ private:
+  ObjectServerDb servers_;
+  ObjectStateDb states_;
+  NodeId node_id_;
+};
+
+}  // namespace gv::naming

@@ -1,0 +1,55 @@
+#include "naming/janitor.h"
+
+#include "util/log.h"
+
+namespace gv::naming {
+
+UseListJanitor::UseListJanitor(ObjectServerDb& db, rpc::RpcEndpoint& endpoint, sim::SimTime period)
+    : db_(db),
+      endpoint_(endpoint),
+      detector_(endpoint),
+      runtime_(endpoint, /*uid_seed=*/0x7A17),
+      period_(period) {
+  endpoint_.node().on_recover([this] {
+    if (running_) endpoint_.node().sim().spawn(run(endpoint_.node().epoch()));
+  });
+}
+
+void UseListJanitor::start() {
+  if (running_) return;
+  running_ = true;
+  endpoint_.node().sim().spawn(run(endpoint_.node().epoch()));
+}
+
+sim::Task<> UseListJanitor::run(std::uint64_t epoch) {
+  auto& node = endpoint_.node();
+  while (running_ && node.up() && node.epoch() == epoch) {
+    co_await node.sim().sleep(period_);
+    if (!running_ || !node.up() || node.epoch() != epoch) co_return;
+    (void)co_await sweep();
+  }
+}
+
+sim::Task<std::uint32_t> UseListJanitor::sweep() {
+  counters_.inc("janitor.sweep");
+  std::uint32_t purged_total = 0;
+  for (NodeId client : db_.clients_in_use()) {
+    const bool ok = co_await detector_.alive(client);
+    if (ok) continue;
+    counters_.inc("janitor.dead_client");
+    // Purge under an independent top-level action so the repair commits
+    // (and persists) regardless of any application activity.
+    actions::AtomicAction act{runtime_};
+    auto purged = co_await db_.purge_client(client, act.uid());
+    act.enlist({endpoint_.node_id(), kOsdbService});
+    if (purged.ok() && (co_await act.commit()).ok()) {
+      purged_total += purged.value();
+      counters_.inc("janitor.purged", purged.value());
+    } else {
+      (void)co_await act.abort();
+    }
+  }
+  co_return purged_total;
+}
+
+}  // namespace gv::naming

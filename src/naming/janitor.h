@@ -1,0 +1,53 @@
+// Use-list cleanup protocol.
+//
+// In the enhanced schemes (sec 4.1.3) "a crash of a client does not
+// automatically undo changes made to the database. So, failure detection
+// and cleanup protocols will be required. For example, the Object Server
+// database could periodically check if its clients are functioning, and
+// if necessary update use lists if crashes are detected."
+//
+// The janitor runs on the naming node: every `period` it collects the
+// client nodes present in any use list, pings each, and for the dead ones
+// runs a top-level atomic action purging their use-list entries. Without
+// it, counters leaked by crashed clients would keep an object permanently
+// non-quiescent (blocking Insert) and steer later clients toward server
+// choices based on phantom users.
+#pragma once
+
+#include "actions/atomic_action.h"
+#include "naming/object_server_db.h"
+#include "rpc/failure_detector.h"
+
+namespace gv::naming {
+
+class UseListJanitor {
+ public:
+  UseListJanitor(ObjectServerDb& db, rpc::RpcEndpoint& endpoint,
+                 sim::SimTime period = 100 * sim::kMillisecond);
+
+  // Begin periodic sweeps (re-armed automatically after node recovery).
+  // The loop keeps the simulator's event queue non-empty, so drive the
+  // simulation with run_until(), or call stop() before a final run().
+  void start();
+  void stop() noexcept { running_ = false; }
+  bool running() const noexcept { return running_; }
+
+  // One sweep, usable directly from tests. Returns purged entry count.
+  sim::Task<std::uint32_t> sweep();
+
+  Counters& counters() noexcept { return counters_; }
+
+ private:
+  sim::Task<> run(std::uint64_t epoch);
+
+  bool running_ = false;
+
+  ObjectServerDb& db_;
+  rpc::RpcEndpoint& endpoint_;
+  rpc::FailureDetector detector_;
+  actions::ActionRuntime runtime_;
+  sim::SimTime period_;
+  Counters counters_;
+};
+
+}  // namespace gv::naming

@@ -1,0 +1,114 @@
+// The Object Server database (sec 4.1): UID -> Sv(A) plus use lists.
+//
+// Maintains, per persistent object, the list of nodes capable of running
+// a server for it, and — for the enhanced schemes of sec 4.1.3 — a use
+// list per server node of the form <client-node, count> recording which
+// clients are currently bound through that server.
+//
+// Exported operations (sec 4.1 / 4.1.3):
+//   GetServer(A)                      read;  returns Sv(A) (+ use lists)
+//   Insert(A, host)                   write; doubles as quiescence check
+//   Remove(A, host)                   write
+//   Increment(client, A, hosts...)    write; bumps use counts
+//   Decrement(client, A, hosts...)    write
+//
+// Every operation names the atomic action it runs under; locks are owned
+// by that action and held until it ends (or are inherited by its parent
+// if it is nested). This is what makes scheme S1 (fig 6) hold the read
+// lock for the whole client action while S2/S3 (figs 7, 8) — which pass a
+// short independent top-level action — release it immediately.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "naming/db_base.h"
+#include "rpc/rpc.h"
+
+namespace gv::naming {
+
+inline constexpr const char* kOsdbService = "osdb";
+// Well-known UID under which the database persists itself.
+inline constexpr Uid kOsdbUid{0xDBull, 1};
+
+// One client's presence on one server node's use list.
+struct UseEntry {
+  NodeId server = 0;
+  NodeId client = 0;
+  std::uint32_t count = 0;
+};
+
+struct SvView {
+  std::vector<NodeId> sv;
+  std::vector<UseEntry> use;  // empty entries elided
+
+  bool quiescent() const noexcept { return use.empty(); }
+  bool in_use(NodeId server) const noexcept {
+    for (const auto& u : use)
+      if (u.server == server && u.count > 0) return true;
+    return false;
+  }
+};
+
+class ObjectServerDb final : public NamingDbBase {
+ public:
+  ObjectServerDb(sim::Node& node, store::ObjectStore& store, rpc::RpcEndpoint& endpoint,
+                 actions::TxnRegistry& txns, NamingConfig cfg = {});
+
+  // ---- administrative (object creation time; not action-scoped) --------
+  void create(const Uid& object, std::vector<NodeId> sv);
+  bool known(const Uid& object) const { return entries_.count(object) > 0; }
+
+  // ---- the paper's operations (local API; RPC glue mirrors these) ------
+  // `for_update` acquires the entry WRITE lock instead of a read lock:
+  // the enhanced schemes (figs 7/8) always follow GetServer with
+  // Increment/Remove, and taking the write lock up front avoids the
+  // promotion deadlock two concurrent binders would otherwise create
+  // (both sharing read locks, both refused promotion).
+  sim::Task<Result<SvView>> get_server(Uid object, Uid action, bool for_update = false);
+  sim::Task<Status> insert(Uid object, NodeId host, Uid action);
+  sim::Task<Status> remove(Uid object, NodeId host, Uid action);
+  sim::Task<Status> increment(Uid object, NodeId client, std::vector<NodeId> hosts, Uid action);
+  sim::Task<Status> decrement(Uid object, NodeId client, std::vector<NodeId> hosts, Uid action);
+
+  // Cleanup hook for the janitor (sec 4.1.3: "failure detection and
+  // cleanup protocols will be required"): drop every use-list entry of a
+  // crashed client, across all objects. Runs under `action`.
+  sim::Task<Result<std::uint32_t>> purge_client(NodeId client, Uid action);
+
+  // All client nodes appearing in any use list (janitor scan).
+  std::vector<NodeId> clients_in_use() const;
+
+ private:
+  struct Entry {
+    std::vector<NodeId> sv;
+    // server node -> (client node -> count)
+    std::map<NodeId, std::map<NodeId, std::uint32_t>> use;
+  };
+
+  static std::string lock_name(const Uid& object) { return "sv:" + object.to_string(); }
+  SvView view_of(const Entry& e) const;
+  void register_rpc(rpc::RpcEndpoint& endpoint);
+
+  Buffer serialize() const override;
+  void deserialize(Buffer state) override;
+
+  std::map<Uid, Entry> entries_;
+};
+
+// ------------------------------------------------------- client stubs
+// Thin client-side wrappers used by the binder strategies.
+
+sim::Task<Result<SvView>> osdb_get_server(rpc::RpcEndpoint& ep, NodeId naming_node, Uid object,
+                                          Uid action, bool for_update = false);
+sim::Task<Status> osdb_insert(rpc::RpcEndpoint& ep, NodeId naming_node, Uid object, NodeId host,
+                              Uid action);
+sim::Task<Status> osdb_remove(rpc::RpcEndpoint& ep, NodeId naming_node, Uid object, NodeId host,
+                              Uid action);
+sim::Task<Status> osdb_increment(rpc::RpcEndpoint& ep, NodeId naming_node, Uid object,
+                                 NodeId client, std::vector<NodeId> hosts, Uid action);
+sim::Task<Status> osdb_decrement(rpc::RpcEndpoint& ep, NodeId naming_node, Uid object,
+                                 NodeId client, std::vector<NodeId> hosts, Uid action);
+
+}  // namespace gv::naming

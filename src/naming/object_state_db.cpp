@@ -1,0 +1,227 @@
+#include "naming/object_state_db.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace gv::naming {
+
+ObjectStateDb::ObjectStateDb(sim::Node& node, store::ObjectStore& store,
+                             rpc::RpcEndpoint& endpoint, actions::TxnRegistry& txns,
+                             NamingConfig cfg, ExcludePolicy policy)
+    : NamingDbBase(node, store, endpoint, kOstdbUid, cfg), policy_(policy) {
+  txns.add(kOstdbService, this);
+  register_rpc(endpoint);
+}
+
+void ObjectStateDb::create(const Uid& object, std::vector<NodeId> st) {
+  Entry e;
+  e.st = std::move(st);
+  entries_[object] = std::move(e);
+  persist_now();  // registration itself must survive a naming-node crash
+}
+
+std::vector<NodeId> ObjectStateDb::peek(const Uid& object) const {
+  auto it = entries_.find(object);
+  return it == entries_.end() ? std::vector<NodeId>{} : it->second.st;
+}
+
+sim::Task<Result<std::vector<NodeId>>> ObjectStateDb::get_view(Uid object, Uid action) {
+  counters_.inc("ostdb.get_view");
+  auto it = entries_.find(object);
+  if (it == entries_.end()) co_return Err::NotFound;
+  Status lk = co_await locks_.acquire(lock_name(object), actions::LockMode::Read, action,
+                                      cfg_.lock_wait);
+  if (!lk.ok()) {
+    counters_.inc("ostdb.lock_refused");
+    trigger_orphan_sweep();
+    co_return lk.error();
+  }
+  auto it2 = entries_.find(object);
+  if (it2 == entries_.end()) co_return Err::NotFound;
+  co_return it2->second.st;
+}
+
+sim::Task<Status> ObjectStateDb::exclude(std::vector<ExcludeItem> items, Uid action) {
+  counters_.inc("ostdb.exclude");
+  const actions::LockMode mode = policy_ == ExcludePolicy::ExcludeWriteLock
+                                     ? actions::LockMode::ExcludeWrite
+                                     : actions::LockMode::Write;
+  for (const ExcludeItem& item : items) {
+    if (entries_.find(item.object) == entries_.end()) co_return Err::NotFound;
+    // Sec 4.2.1: the caller usually already holds a read lock from
+    // GetView; this is the promotion the exclude-write type exists for.
+    Status lk = co_await locks_.promote(lock_name(item.object), mode, action, cfg_.lock_wait);
+    if (!lk.ok()) {
+      counters_.inc("ostdb.exclude_lock_refused");
+      trigger_orphan_sweep();
+      co_return lk.error();
+    }
+    auto it = entries_.find(item.object);
+    if (it == entries_.end()) co_return Err::NotFound;
+    Entry& e = it->second;
+    std::vector<NodeId> removed;
+    for (NodeId host : item.nodes) {
+      auto pos = std::find(e.st.begin(), e.st.end(), host);
+      if (pos != e.st.end()) {
+        e.st.erase(pos);
+        removed.push_back(host);
+      }
+    }
+    if (!removed.empty()) {
+      counters_.inc("ostdb.excluded_nodes", removed.size());
+      for (NodeId host : removed)
+        GV_LOG(LogLevel::Debug, node_.sim().now(), "ostdb", "exclude %u from %s by %s", host,
+               item.object.to_string().c_str(), action.to_string().c_str());
+      push_undo(action, [this, object = item.object, removed, action] {
+        auto eit = entries_.find(object);
+        if (eit == entries_.end()) return;
+        for (NodeId host : removed) {
+          GV_LOG(LogLevel::Debug, node_.sim().now(), "ostdb", "UNDO exclude: re-add %u to %s (action %s)",
+                 host, object.to_string().c_str(), action.to_string().c_str());
+          eit->second.st.push_back(host);
+        }
+      });
+    }
+  }
+  co_return ok_status();
+}
+
+sim::Task<Status> ObjectStateDb::include(Uid object, NodeId host, Uid action) {
+  counters_.inc("ostdb.include");
+  auto it = entries_.find(object);
+  if (it == entries_.end()) co_return Err::NotFound;
+  Status lk = co_await locks_.acquire(lock_name(object), actions::LockMode::Write, action,
+                                      cfg_.lock_wait);
+  if (!lk.ok()) {
+    counters_.inc("ostdb.lock_refused");
+    trigger_orphan_sweep();
+    co_return lk.error();
+  }
+  Entry& e = entries_.find(object)->second;
+  if (std::find(e.st.begin(), e.st.end(), host) != e.st.end()) co_return ok_status();
+  GV_LOG(LogLevel::Debug, node_.sim().now(), "ostdb", "include %u into %s by %s", host,
+         object.to_string().c_str(), action.to_string().c_str());
+  e.st.push_back(host);
+  push_undo(action, [this, object, host] {
+    auto eit = entries_.find(object);
+    if (eit == entries_.end()) return;
+    auto& st = eit->second.st;
+    st.erase(std::remove(st.begin(), st.end(), host), st.end());
+  });
+  co_return ok_status();
+}
+
+// ------------------------------------------------------------ persistence
+
+Buffer ObjectStateDb::serialize() const {
+  Buffer b;
+  b.pack_u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [object, e] : entries_) {
+    b.pack_uid(object);
+    b.pack_u32_vector(std::vector<std::uint32_t>(e.st.begin(), e.st.end()));
+  }
+  return b;
+}
+
+void ObjectStateDb::deserialize(Buffer state) {
+  entries_.clear();
+  auto n = state.unpack_u32();
+  if (!n.ok()) return;
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto object = state.unpack_uid();
+    auto st = state.unpack_u32_vector();
+    if (!object.ok() || !st.ok()) return;
+    Entry e;
+    e.st.assign(st.value().begin(), st.value().end());
+    entries_[object.value()] = std::move(e);
+  }
+}
+
+// --------------------------------------------------------------- RPC glue
+
+void ObjectStateDb::register_rpc(rpc::RpcEndpoint& endpoint) {
+  endpoint.register_method(kOstdbService, "get_view",
+                           [this](NodeId from, Buffer args) -> sim::Task<Result<Buffer>> {
+                             auto object = args.unpack_uid();
+                             auto action = args.unpack_uid();
+                             if (!object.ok() || !action.ok()) co_return Err::BadRequest;
+                             note_activity(action.value(), from);
+                             auto r = co_await get_view(object.value(), action.value());
+                             if (!r.ok()) co_return r.error();
+                             Buffer out;
+                             out.pack_u32_vector(
+                                 std::vector<std::uint32_t>(r.value().begin(), r.value().end()));
+                             co_return out;
+                           });
+  endpoint.register_method(
+      kOstdbService, "exclude", [this](NodeId from, Buffer args) -> sim::Task<Result<Buffer>> {
+        auto n = args.unpack_u32();
+        if (!n.ok()) co_return Err::BadRequest;
+        std::vector<ExcludeItem> items;
+        for (std::uint32_t i = 0; i < n.value(); ++i) {
+          auto object = args.unpack_uid();
+          auto nodes = args.unpack_u32_vector();
+          if (!object.ok() || !nodes.ok()) co_return Err::BadRequest;
+          items.push_back(
+              ExcludeItem{object.value(), {nodes.value().begin(), nodes.value().end()}});
+        }
+        auto action = args.unpack_uid();
+        if (!action.ok()) co_return Err::BadRequest;
+        note_activity(action.value(), from);
+        Status s = co_await exclude(std::move(items), action.value());
+        if (!s.ok()) co_return s.error();
+        co_return Buffer{};
+      });
+  endpoint.register_method(kOstdbService, "include",
+                           [this](NodeId from, Buffer args) -> sim::Task<Result<Buffer>> {
+                             auto object = args.unpack_uid();
+                             auto host = args.unpack_u32();
+                             auto action = args.unpack_uid();
+                             if (!object.ok() || !host.ok() || !action.ok())
+                               co_return Err::BadRequest;
+                             note_activity(action.value(), from);
+                             Status s =
+                                 co_await include(object.value(), host.value(), action.value());
+                             if (!s.ok()) co_return s.error();
+                             co_return Buffer{};
+                           });
+}
+
+// ------------------------------------------------------------ client stubs
+
+sim::Task<Result<std::vector<NodeId>>> ostdb_get_view(rpc::RpcEndpoint& ep, NodeId naming_node,
+                                                      Uid object, Uid action) {
+  Buffer args;
+  args.pack_uid(object).pack_uid(action);
+  auto r = co_await ep.call(naming_node, kOstdbService, "get_view", std::move(args));
+  if (!r.ok()) co_return r.error();
+  auto st = r.value().unpack_u32_vector();
+  if (!st.ok()) co_return Err::BadRequest;
+  co_return std::vector<NodeId>(st.value().begin(), st.value().end());
+}
+
+sim::Task<Status> ostdb_exclude(rpc::RpcEndpoint& ep, NodeId naming_node,
+                                std::vector<ExcludeItem> items, Uid action) {
+  Buffer args;
+  args.pack_u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& item : items) {
+    args.pack_uid(item.object);
+    args.pack_u32_vector(std::vector<std::uint32_t>(item.nodes.begin(), item.nodes.end()));
+  }
+  args.pack_uid(action);
+  auto r = co_await ep.call(naming_node, kOstdbService, "exclude", std::move(args));
+  if (!r.ok()) co_return r.error();
+  co_return ok_status();
+}
+
+sim::Task<Status> ostdb_include(rpc::RpcEndpoint& ep, NodeId naming_node, Uid object, NodeId host,
+                                Uid action) {
+  Buffer args;
+  args.pack_uid(object).pack_u32(host).pack_uid(action);
+  auto r = co_await ep.call(naming_node, kOstdbService, "include", std::move(args));
+  if (!r.ok()) co_return r.error();
+  co_return ok_status();
+}
+
+}  // namespace gv::naming

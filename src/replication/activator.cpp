@@ -1,0 +1,74 @@
+#include "replication/activator.h"
+
+#include "util/log.h"
+
+namespace gv::replication {
+
+const char* to_string(ReplicationPolicy p) noexcept {
+  switch (p) {
+    case ReplicationPolicy::SingleCopyPassive: return "single-copy-passive";
+    case ReplicationPolicy::Active: return "active";
+    case ReplicationPolicy::CoordinatorCohort: return "coordinator-cohort";
+  }
+  return "?";
+}
+
+sim::Task<Result<ActiveBinding>> Activator::bind_and_activate(ObjectSpec spec,
+                                                              actions::AtomicAction& action) {
+  // St(A) is read under the client's action: the read lock both pins the
+  // view for the action's lifetime and is the lock the commit processor
+  // later promotes to EXCLUDE-WRITE if stores fail.
+  auto st = co_await naming::ostdb_get_view(rt_.endpoint(), naming_node_, spec.uid, action.uid());
+  action.enlist({naming_node_, naming::kOstdbService});
+  if (!st.ok()) {
+    counters_.inc("activate.getview_failed");
+    co_return st.error();
+  }
+
+  // Probe: ask the candidate node to (idempotently) activate the object.
+  // A node that is down, cannot reach any St store, or lacks the class
+  // binary fails the probe and is handled per the binder's scheme.
+  const std::vector<NodeId> st_nodes = st.value();
+  auto probe = [this, spec, st_nodes](NodeId node) -> sim::Task<naming::ProbeResult> {
+    Status s = co_await objsrv_activate(rt_.endpoint(), node, spec.uid, spec.class_name, st_nodes);
+    if (s.ok()) co_return naming::ProbeResult::Ok;
+    switch (s.error()) {
+      case Err::NotQuiescent:  // recovering: its Insert will re-admit it
+      case Err::NoReplicas:    // alive, but no store reachable right now
+        co_return naming::ProbeResult::Busy;
+      default:
+        co_return naming::ProbeResult::Dead;
+    }
+  };
+
+  const std::size_t want =
+      spec.policy == ReplicationPolicy::SingleCopyPassive ? 1 : spec.servers_wanted;
+  actions::AtomicAction* client_action =
+      binder_.scheme() == naming::Scheme::StandardNested ? &action : nullptr;
+  auto bound = co_await binder_.bind(spec.uid, want, client_action, probe);
+  if (!bound.ok()) {
+    counters_.inc("activate.bind_failed");
+    co_return bound.error();
+  }
+
+  for (NodeId s : bound.value().servers) action.enlist({s, kObjSrvService});
+
+  if (spec.policy == ReplicationPolicy::Active) {
+    const std::string group = group_name(spec.uid);
+    if (gc_.members(group).empty()) gc_.create_group(group, bound.value().servers);
+    for (NodeId s : bound.value().servers) {
+      Status joined = co_await objsrv_join_group(rt_.endpoint(), s, spec.uid);
+      if (!joined.ok()) counters_.inc("activate.join_failed");
+    }
+  }
+
+  ActiveBinding out;
+  out.spec = std::move(spec);
+  out.bind = std::move(bound).value();
+  out.st = st_nodes;
+  out.primary = out.bind.servers.front();
+  counters_.inc("activate.bound");
+  co_return out;
+}
+
+}  // namespace gv::replication

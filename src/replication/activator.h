@@ -1,0 +1,83 @@
+// Binding + activation of replicated objects (secs 3.2, 4).
+//
+// Implements the four replica-management regimes of sec 3.2 uniformly:
+// the cardinalities of Sv(A) and St(A), together with the replication
+// policy, select the behaviour:
+//
+//   |Sv|=1, |St|=1  non-replicated object            (fig 2)
+//   |Sv|=1, |St|>1  single copy passive replication  (fig 3)
+//   |Sv|>1, |St|=1  replicated servers, single state (fig 4)
+//   |Sv|>1, |St|>1  the general case                 (fig 5)
+//
+// Activation: read St via GetView (a read-locked operation under the
+// client's action), then drive the Binder (which consults the Object
+// Server database under the configured scheme) with a probe that asks
+// candidate server nodes to activate the object — each freshly created
+// server loads the state from any functioning node in St.
+//
+// Policies:
+//   SingleCopyPassive  one server; state copied to all St stores at commit
+//   Active             k servers; invocations multicast (reliable+ordered)
+//   CoordinatorCohort  k servers; only the coordinator executes, cohorts
+//                      receive checkpoints at commit and stand by warm
+#pragma once
+
+#include "actions/atomic_action.h"
+#include "naming/binder.h"
+#include "naming/object_state_db.h"
+#include "replication/object_server.h"
+#include "rpc/group_comm.h"
+
+namespace gv::replication {
+
+enum class ReplicationPolicy { SingleCopyPassive, Active, CoordinatorCohort };
+
+const char* to_string(ReplicationPolicy p) noexcept;
+
+// Static description of a persistent object (what the system knows at
+// creation time; the authoritative Sv/St live in the group view db).
+struct ObjectSpec {
+  Uid uid;
+  std::string class_name;
+  ReplicationPolicy policy = ReplicationPolicy::SingleCopyPassive;
+  std::size_t servers_wanted = 1;  // |Sv'| — how many replicas to activate
+};
+
+// The per-action result of binding+activating one object.
+struct ActiveBinding {
+  ObjectSpec spec;
+  naming::BindResult bind;      // bound servers (Sv')
+  std::vector<NodeId> st;       // St(A) as read under the action
+  NodeId primary = sim::kNoNode;  // invocation target (passive / CC)
+
+  // Filled by the commit processor while staging: the version installed
+  // by this action (0 = object not modified) and its snapshot (used for
+  // cohort checkpoints after commit).
+  std::uint64_t staged_version = 0;
+  Buffer staged_snapshot;
+};
+
+class Activator {
+ public:
+  Activator(actions::ActionRuntime& rt, NodeId naming_node, rpc::GroupComm& gc,
+            naming::Scheme scheme)
+      : rt_(rt), naming_node_(naming_node), gc_(gc), binder_(rt, naming_node, scheme) {}
+
+  // Bind to (activating if necessary) the object described by `spec`,
+  // within `action`. Enlists the naming databases and the bound servers'
+  // hosts as participants of `action`.
+  sim::Task<Result<ActiveBinding>> bind_and_activate(ObjectSpec spec,
+                                                     actions::AtomicAction& action);
+
+  naming::Binder& binder() noexcept { return binder_; }
+  Counters& counters() noexcept { return counters_; }
+
+ private:
+  actions::ActionRuntime& rt_;
+  NodeId naming_node_;
+  rpc::GroupComm& gc_;
+  naming::Binder binder_;
+  Counters counters_;
+};
+
+}  // namespace gv::replication

@@ -1,0 +1,117 @@
+#include "replication/commit_processor.h"
+
+#include "store/object_store.h"
+#include "util/log.h"
+
+namespace gv::replication {
+
+sim::Task<Status> CommitProcessor::commit(actions::AtomicAction& action,
+                                          std::vector<ActiveBinding*> bindings) {
+  for (ActiveBinding* b : bindings) {
+    Status staged = co_await stage_object(action, *b);
+    if (!staged.ok()) {
+      counters_.inc("commit.stage_failed");
+      co_return co_await action.abort();
+    }
+  }
+
+  Status committed = co_await action.commit();
+  if (!committed.ok()) {
+    counters_.inc("commit.2pc_failed");
+    co_return committed;
+  }
+  counters_.inc("commit.committed");
+
+  // Post-commit bookkeeping (best effort; failures here are repaired by
+  // the recovery protocol, not by the already-decided action).
+  for (ActiveBinding* b : bindings) {
+    if (b->staged_version == 0) continue;  // read-only: nothing changed
+    for (NodeId server : b->bind.servers)
+      (void)co_await objsrv_mark_committed(rt_.endpoint(), server, b->spec.uid,
+                                           b->staged_version);
+    if (b->spec.policy == ReplicationPolicy::CoordinatorCohort) {
+      for (NodeId cohort : b->bind.servers) {
+        if (cohort == b->primary) continue;
+        Status s = co_await objsrv_cohort_checkpoint(rt_.endpoint(), cohort, b->spec.uid,
+                                                     b->spec.class_name, b->staged_version,
+                                                     b->staged_snapshot);
+        counters_.inc(s.ok() ? "commit.cohort_checkpoint" : "commit.cohort_checkpoint_failed");
+      }
+    }
+  }
+  co_return ok_status();
+}
+
+sim::Task<Status> CommitProcessor::stage_object(actions::AtomicAction& action,
+                                                ActiveBinding& binding) {
+  // 1. Fetch the (possibly new) state from a live bound server. Probe
+  // EVERY bound server: replicas that crashed hold nothing durable, and
+  // leaving them enlisted would make the 2PC abort a failure the
+  // replication policy exists to mask (sec 3.2: up to k-1 server
+  // failures are masked).
+  Result<ObjectServerHost::StateForCommit> state = Err::NoReplicas;
+  for (NodeId server : binding.bind.servers) {
+    auto r = co_await objsrv_state_for_commit(rt_.endpoint(), server, binding.spec.uid,
+                                              action.uid());
+    if (r.ok()) {
+      if (!state.ok()) state = std::move(r);
+    } else {
+      counters_.inc("commit.server_unreachable");
+      action.delist({server, kObjSrvService});
+    }
+  }
+  if (!state.ok()) co_return state.error();  // every bound server gone: abort
+
+  // 2. Read-only optimisation (sec 4.2.1): unmodified objects need no
+  // copy-back and no store participation at all.
+  if (!state.value().modified) {
+    counters_.inc("commit.read_only_skip");
+    binding.staged_version = 0;
+    co_return ok_status();
+  }
+
+  const std::uint64_t new_version = state.value().version + 1;
+  // 3. Copy (prepare) the new state to every store in St(A).
+  std::vector<NodeId> copied, failed;
+  for (NodeId st : binding.st) {
+    Status s = co_await store::ObjectStore::remote_prepare(
+        rt_.endpoint(), st, binding.spec.uid, action.uid(), new_version,
+        state.value().snapshot);
+    if (s.ok()) {
+      copied.push_back(st);
+      counters_.inc("commit.state_copied");
+    } else {
+      failed.push_back(st);
+      counters_.inc("commit.state_copy_failed");
+    }
+  }
+
+  // 4. No store holds the new state: the object cannot commit.
+  if (copied.empty()) {
+    counters_.inc("commit.no_store_available");
+    co_return Err::NoReplicas;
+  }
+
+  // 5. Exclude the failed stores from St(A) within this same action.
+  if (!failed.empty()) {
+    std::vector<naming::ExcludeItem> items{{binding.spec.uid, failed}};
+    Status ex = co_await naming::ostdb_exclude(rt_.endpoint(), naming_node_, std::move(items),
+                                               action.uid());
+    if (!ex.ok()) {
+      // Lock promotion refused (sec 4.2.1): the action must abort.
+      counters_.inc("commit.exclude_refused");
+      co_return ex;
+    }
+    counters_.inc("commit.excluded_stores", failed.size());
+  }
+
+  // 6. Enlist every store that accepted the copy (the naming database is
+  // already a participant from GetView).
+  for (NodeId st : copied) action.enlist({st, store::kStoreService});
+
+  binding.staged_version = new_version;
+  binding.staged_snapshot = state.value().snapshot;
+  co_return ok_status();
+}
+
+}  // namespace gv::replication

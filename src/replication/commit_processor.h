@@ -1,0 +1,51 @@
+// Commit processing and object passivation (sec 2.3(3), sec 4.2.1).
+//
+// When an application action that used replicated objects commits:
+//
+//  1. For each object the action modified, obtain the new state from one
+//     of its bound servers (the read-only optimisation skips objects the
+//     action did not modify — no copying necessary).
+//  2. Copy the new state (version v+1) to the object stores of ALL nodes
+//     in St(A) — as stable shadow writes keyed by the action.
+//  3. Nodes for which the copy failed must be EXCLUDED from St(A): the
+//     read lock the action holds on the St entry is promoted (to
+//     EXCLUDE-WRITE under the paper's policy, to WRITE under the ablation
+//     policy) and the batched Exclude is executed in the same action — so
+//     either the new states AND the shrunken St commit together, or
+//     neither does. If the promotion is refused, the action aborts.
+//  4. If no store accepted the copy, the object would become unavailable
+//     with no consistent St left: the action aborts.
+//  5. Two-phase commit over all participants (stores, naming databases,
+//     object server hosts) decides the outcome.
+//  6. Post-commit: surviving servers learn the new committed version;
+//     coordinator-cohort objects checkpoint the committed state to their
+//     cohorts (warm standbys).
+#pragma once
+
+#include "actions/atomic_action.h"
+#include "naming/object_state_db.h"
+#include "replication/activator.h"
+
+namespace gv::replication {
+
+class CommitProcessor {
+ public:
+  CommitProcessor(actions::ActionRuntime& rt, NodeId naming_node)
+      : rt_(rt), naming_node_(naming_node) {}
+
+  // Run commit processing for `action` over the objects it bound, then
+  // drive the top-level two-phase commit. On any failure the action is
+  // aborted and Err::Aborted returned.
+  sim::Task<Status> commit(actions::AtomicAction& action, std::vector<ActiveBinding*> bindings);
+
+  Counters& counters() noexcept { return counters_; }
+
+ private:
+  sim::Task<Status> stage_object(actions::AtomicAction& action, ActiveBinding& binding);
+
+  actions::ActionRuntime& rt_;
+  NodeId naming_node_;
+  Counters counters_;
+};
+
+}  // namespace gv::replication

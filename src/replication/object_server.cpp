@@ -1,0 +1,474 @@
+#include "replication/object_server.h"
+
+#include "util/log.h"
+
+namespace gv::replication {
+
+std::string group_name(const Uid& object) { return "grp:" + object.to_string(); }
+
+ObjectServerHost::ObjectServerHost(sim::Node& node, rpc::RpcEndpoint& endpoint,
+                                   actions::TxnRegistry& txns, rpc::GroupComm& gc,
+                                   ClassRegistry& classes)
+    : node_(node), endpoint_(endpoint), gc_(gc), classes_(classes), locks_(node.sim()) {
+  txns.add(kObjSrvService, this);
+  register_rpc();
+  node_.on_crash([this] {
+    // Activated objects and all lock state are volatile; committed
+    // states live in the stores.
+    active_.clear();
+    terminated_.clear();
+    locks_.reset();
+  });
+}
+
+sim::Task<Status> ObjectServerHost::activate(Uid object, std::string class_name,
+                                             std::vector<NodeId> st_nodes) {
+  if (active_.count(object) > 0) {
+    counters_.inc("objsrv.activate_idempotent");
+    co_return ok_status();
+  }
+  if (activation_blocked_.count(object) > 0) {
+    counters_.inc("objsrv.activate_blocked_recovering");
+    co_return Err::NotQuiescent;  // Insert has not re-admitted us yet
+  }
+  if (!classes_.knows(class_name)) co_return Err::NotFound;
+
+  // Load the latest committed state from any functioning store in St.
+  for (NodeId st : st_nodes) {
+    auto r = co_await store::ObjectStore::remote_read(endpoint_, st, object);
+    if (!r.ok()) {
+      counters_.inc("objsrv.activate_store_miss");
+      continue;
+    }
+    auto obj = classes_.make(class_name);
+    Status restored = obj->restore(std::move(r.value().state));
+    if (!restored.ok()) co_return restored;
+    Active a;
+    a.class_name = std::move(class_name);
+    a.obj = std::move(obj);
+    a.version = r.value().version;
+    active_.emplace(object, std::move(a));
+    counters_.inc("objsrv.activated");
+    co_return ok_status();
+  }
+  counters_.inc("objsrv.activate_no_store");
+  co_return Err::NoReplicas;
+}
+
+Status ObjectServerHost::activate_from_snapshot(Uid object, const std::string& class_name,
+                                                std::uint64_t version, Buffer snapshot) {
+  if (!classes_.knows(class_name)) return Err::NotFound;
+  auto obj = classes_.make(class_name);
+  Status restored = obj->restore(std::move(snapshot));
+  if (!restored.ok()) return restored;
+  Active a;
+  a.class_name = class_name;
+  a.obj = std::move(obj);
+  a.version = version;
+  active_[object] = std::move(a);  // replaces any stale instance
+  counters_.inc("objsrv.cohort_checkpoint");
+  return ok_status();
+}
+
+ObjectStatus ObjectServerHost::status(const Uid& object) const {
+  auto it = active_.find(object);
+  if (it == active_.end()) return {};
+  return ObjectStatus{true, it->second.version, !it->second.modified_by.empty()};
+}
+
+sim::Task<Result<Buffer>> ObjectServerHost::invoke(Uid object, Uid action,
+                                                   std::vector<Uid> ancestors,
+                                                   actions::LockMode mode, std::string op,
+                                                   Buffer args) {
+  auto it = active_.find(object);
+  if (it == active_.end()) co_return Err::NotFound;  // passive: activate first
+  if (terminated_.count(action) > 0) co_return Err::Aborted;
+  Status lk = co_await locks_.acquire(lock_name(object), mode, action, kInvokeLockWait,
+                                      std::move(ancestors));
+  if (!lk.ok()) {
+    counters_.inc("objsrv.lock_refused");
+    co_return lk.error();
+  }
+  // Re-check after the wait: the object may have been passivated, or the
+  // action terminated while we were queued for the lock.
+  if (terminated_.count(action) > 0) {
+    locks_.release(lock_name(object), action);
+    counters_.inc("objsrv.refused_dead_action");
+    co_return Err::Aborted;
+  }
+  auto it2 = active_.find(object);
+  if (it2 == active_.end()) co_return Err::NotFound;
+  co_return co_await apply_locked(it2->second, object, action, mode, op, std::move(args));
+}
+
+sim::Task<Result<Buffer>> ObjectServerHost::apply_locked(Active& a, Uid object, Uid action,
+                                                         actions::LockMode mode,
+                                                         const std::string& op, Buffer args) {
+  // Before-image on first write by this action (undo for abort). For
+  // read-mode invocations keep a scratch snapshot so a misdeclared
+  // operation (one that mutates under a read lock) can be rolled back
+  // instead of corrupting serialisability.
+  if (mode == actions::LockMode::Write && a.before.count(action) == 0)
+    a.before.emplace(action, a.obj->snapshot());
+  Buffer scratch;
+  if (mode != actions::LockMode::Write) scratch = a.obj->snapshot();
+
+  bool modified = false;
+  Result<Buffer> result = a.obj->apply(op, std::move(args), modified);
+  counters_.inc("objsrv.invoke");
+  if (modified) {
+    if (mode != actions::LockMode::Write) {
+      (void)a.obj->restore(std::move(scratch));
+      counters_.inc("objsrv.mode_violation");
+      co_return Err::BadRequest;
+    }
+    a.modified_by.insert(action);
+  }
+  co_return result;
+  (void)object;
+}
+
+Result<ObjectServerHost::StateForCommit> ObjectServerHost::state_for_commit(
+    const Uid& object, const Uid& txn) const {
+  auto it = active_.find(object);
+  if (it == active_.end()) return Err::NotFound;
+  StateForCommit out;
+  out.version = it->second.version;
+  out.modified = it->second.modified_by.count(txn) > 0;
+  out.snapshot = it->second.obj->snapshot();
+  return out;
+}
+
+void ObjectServerHost::mark_committed(const Uid& object, std::uint64_t new_version) {
+  auto it = active_.find(object);
+  if (it != active_.end() && it->second.version < new_version) it->second.version = new_version;
+}
+
+Status ObjectServerHost::passivate(const Uid& object) {
+  auto it = active_.find(object);
+  if (it == active_.end()) return ok_status();
+  if (!it->second.before.empty() || locks_.holder_count(lock_name(object)) > 0)
+    return Err::NotQuiescent;
+  active_.erase(it);
+  counters_.inc("objsrv.passivated");
+  return ok_status();
+}
+
+// ---------------------------------------------------------- participant
+
+sim::Task<bool> ObjectServerHost::prepare(const Uid&) { co_return true; }
+
+sim::Task<Status> ObjectServerHost::commit(const Uid& txn) {
+  terminated_.insert(txn);
+  for (auto& [uid, a] : active_) {
+    a.before.erase(txn);
+    a.modified_by.erase(txn);
+  }
+  locks_.release_all(txn);
+  counters_.inc("objsrv.txn_commit");
+  co_return ok_status();
+}
+
+sim::Task<Status> ObjectServerHost::abort(const Uid& txn) {
+  terminated_.insert(txn);
+  for (auto& [uid, a] : active_) {
+    auto bit = a.before.find(txn);
+    if (bit != a.before.end()) {
+      (void)a.obj->restore(std::move(bit->second));
+      a.before.erase(bit);
+      counters_.inc("objsrv.restored_before_image");
+    }
+    a.modified_by.erase(txn);
+  }
+  locks_.release_all(txn);
+  counters_.inc("objsrv.txn_abort");
+  co_return ok_status();
+}
+
+void ObjectServerHost::nested_commit(const Uid& child, const Uid& parent) {
+  locks_.transfer(child, parent);
+  for (auto& [uid, a] : active_) {
+    auto bit = a.before.find(child);
+    if (bit != a.before.end()) {
+      // Parent keeps ITS before-image if it has one (it is older); the
+      // child's image becomes the parent's otherwise.
+      if (a.before.count(parent) == 0) a.before.emplace(parent, std::move(bit->second));
+      a.before.erase(child);
+    }
+    if (a.modified_by.erase(child) > 0) a.modified_by.insert(parent);
+  }
+}
+
+void ObjectServerHost::nested_abort(const Uid& child) {
+  for (auto& [uid, a] : active_) {
+    auto bit = a.before.find(child);
+    if (bit != a.before.end()) {
+      (void)a.obj->restore(std::move(bit->second));
+      a.before.erase(bit);
+    }
+    a.modified_by.erase(child);
+  }
+  locks_.release_all(child);
+}
+
+// -------------------------------------------------------- group delivery
+
+void ObjectServerHost::join_group(const Uid& object) {
+  gc_.join(group_name(object), node_.id(),
+           [this](NodeId from, std::uint64_t, Buffer msg) { on_group_deliver(from, msg); });
+}
+
+void ObjectServerHost::on_group_deliver(NodeId, Buffer msg) {
+  auto inv_id = msg.unpack_u64();
+  auto reply_to = msg.unpack_u32();
+  auto object = msg.unpack_uid();
+  auto action = msg.unpack_uid();
+  auto ancestors = msg.unpack_uid_vector();
+  auto mode = msg.unpack_u8();
+  auto op = msg.unpack_string();
+  auto args = msg.unpack_bytes();
+  if (!inv_id.ok() || !reply_to.ok() || !object.ok() || !action.ok() || !ancestors.ok() ||
+      !mode.ok() || !op.ok() || !args.ok())
+    return;
+  // Apply and reply point-to-point; the handler runs as its own process.
+  node_.sim().spawn([](ObjectServerHost& self, std::uint64_t inv, NodeId reply_to, Uid object,
+                       Uid action, std::vector<Uid> ancestors, actions::LockMode mode,
+                       std::string op, Buffer args) -> sim::Task<> {
+    Result<Buffer> r = co_await self.invoke(object, action, std::move(ancestors), mode,
+                                            std::move(op), std::move(args));
+    Buffer reply;
+    reply.pack_u64(inv);
+    reply.pack_u32(static_cast<std::uint32_t>(r.ok() ? Err::None : r.error()));
+    reply.pack_bytes(r.ok() ? r.value() : Buffer{});
+    // One-way notification; errors are irrelevant (client takes first).
+    (void)co_await self.endpoint_.call(reply_to, "ginv", "reply", std::move(reply));
+  }(*this, inv_id.value(), reply_to.value(), object.value(), action.value(),
+    std::move(ancestors).value(), static_cast<actions::LockMode>(mode.value()),
+    std::move(op).value(), std::move(args).value()));
+}
+
+// --------------------------------------------------------------- RPC glue
+
+void ObjectServerHost::register_rpc() {
+  endpoint_.register_method(
+      kObjSrvService, "activate", [this](NodeId, Buffer a) -> sim::Task<Result<Buffer>> {
+        auto object = a.unpack_uid();
+        auto cls = a.unpack_string();
+        auto st = a.unpack_u32_vector();
+        if (!object.ok() || !cls.ok() || !st.ok()) co_return Err::BadRequest;
+        Status s = co_await activate(object.value(), std::move(cls).value(),
+                                     {st.value().begin(), st.value().end()});
+        if (!s.ok()) co_return s.error();
+        co_return Buffer{};
+      });
+  endpoint_.register_method(
+      kObjSrvService, "invoke", [this](NodeId, Buffer a) -> sim::Task<Result<Buffer>> {
+        auto object = a.unpack_uid();
+        auto action = a.unpack_uid();
+        auto ancestors = a.unpack_uid_vector();
+        auto mode = a.unpack_u8();
+        auto op = a.unpack_string();
+        auto args = a.unpack_bytes();
+        if (!object.ok() || !action.ok() || !ancestors.ok() || !mode.ok() || !op.ok() ||
+            !args.ok())
+          co_return Err::BadRequest;
+        co_return co_await invoke(object.value(), action.value(), std::move(ancestors).value(),
+                                  static_cast<actions::LockMode>(mode.value()),
+                                  std::move(op).value(), std::move(args).value());
+      });
+  endpoint_.register_method(
+      kObjSrvService, "state_for_commit", [this](NodeId, Buffer a) -> sim::Task<Result<Buffer>> {
+        auto object = a.unpack_uid();
+        auto txn = a.unpack_uid();
+        if (!object.ok() || !txn.ok()) co_return Err::BadRequest;
+        auto r = state_for_commit(object.value(), txn.value());
+        if (!r.ok()) co_return r.error();
+        Buffer out;
+        out.pack_u64(r.value().version).pack_bool(r.value().modified).pack_bytes(
+            r.value().snapshot);
+        co_return out;
+      });
+  endpoint_.register_method(kObjSrvService, "mark_committed",
+                            [this](NodeId, Buffer a) -> sim::Task<Result<Buffer>> {
+                              auto object = a.unpack_uid();
+                              auto ver = a.unpack_u64();
+                              if (!object.ok() || !ver.ok()) co_return Err::BadRequest;
+                              mark_committed(object.value(), ver.value());
+                              co_return Buffer{};
+                            });
+  endpoint_.register_method(
+      kObjSrvService, "cohort_checkpoint", [this](NodeId, Buffer a) -> sim::Task<Result<Buffer>> {
+        auto object = a.unpack_uid();
+        auto cls = a.unpack_string();
+        auto ver = a.unpack_u64();
+        auto snap = a.unpack_bytes();
+        if (!object.ok() || !cls.ok() || !ver.ok() || !snap.ok()) co_return Err::BadRequest;
+        Status s = activate_from_snapshot(object.value(), cls.value(), ver.value(),
+                                          std::move(snap).value());
+        if (!s.ok()) co_return s.error();
+        co_return Buffer{};
+      });
+  endpoint_.register_method(kObjSrvService, "is_active",
+                            [this](NodeId, Buffer a) -> sim::Task<Result<Buffer>> {
+                              auto object = a.unpack_uid();
+                              if (!object.ok()) co_return Err::BadRequest;
+                              Buffer out;
+                              out.pack_bool(is_active(object.value()));
+                              co_return out;
+                            });
+  endpoint_.register_method(kObjSrvService, "join_group",
+                            [this](NodeId, Buffer a) -> sim::Task<Result<Buffer>> {
+                              auto object = a.unpack_uid();
+                              if (!object.ok()) co_return Err::BadRequest;
+                              if (!is_active(object.value())) co_return Err::NotFound;
+                              join_group(object.value());
+                              co_return Buffer{};
+                            });
+  endpoint_.register_method(kObjSrvService, "passivate",
+                            [this](NodeId, Buffer a) -> sim::Task<Result<Buffer>> {
+                              auto object = a.unpack_uid();
+                              if (!object.ok()) co_return Err::BadRequest;
+                              Status s = passivate(object.value());
+                              if (!s.ok()) co_return s.error();
+                              co_return Buffer{};
+                            });
+}
+
+// ------------------------------------------------------------ client stubs
+
+sim::Task<Status> objsrv_activate(rpc::RpcEndpoint& ep, NodeId server, Uid object,
+                                  std::string class_name, std::vector<NodeId> st_nodes,
+                                  sim::SimTime timeout) {
+  Buffer a;
+  a.pack_uid(object).pack_string(class_name);
+  a.pack_u32_vector({st_nodes.begin(), st_nodes.end()});
+  auto r = co_await ep.call(server, kObjSrvService, "activate", std::move(a), timeout);
+  if (!r.ok()) co_return r.error();
+  co_return ok_status();
+}
+
+sim::Task<Result<Buffer>> objsrv_invoke(rpc::RpcEndpoint& ep, NodeId server, Uid object,
+                                        Uid action, std::vector<Uid> ancestors,
+                                        actions::LockMode mode, std::string op, Buffer args) {
+  Buffer a;
+  a.pack_uid(object).pack_uid(action).pack_uid_vector(ancestors);
+  a.pack_u8(static_cast<std::uint8_t>(mode));
+  a.pack_string(op).pack_bytes(args);
+  co_return co_await ep.call(server, kObjSrvService, "invoke", std::move(a));
+}
+
+sim::Task<Result<ObjectServerHost::StateForCommit>> objsrv_state_for_commit(rpc::RpcEndpoint& ep,
+                                                                            NodeId server,
+                                                                            Uid object, Uid txn) {
+  Buffer a;
+  a.pack_uid(object).pack_uid(txn);
+  auto r = co_await ep.call(server, kObjSrvService, "state_for_commit", std::move(a));
+  if (!r.ok()) co_return r.error();
+  auto ver = r.value().unpack_u64();
+  auto modified = r.value().unpack_bool();
+  auto snap = r.value().unpack_bytes();
+  if (!ver.ok() || !modified.ok() || !snap.ok()) co_return Err::BadRequest;
+  co_return ObjectServerHost::StateForCommit{ver.value(), modified.value(),
+                                             std::move(snap).value()};
+}
+
+sim::Task<Status> objsrv_mark_committed(rpc::RpcEndpoint& ep, NodeId server, Uid object,
+                                        std::uint64_t new_version) {
+  Buffer a;
+  a.pack_uid(object).pack_u64(new_version);
+  auto r = co_await ep.call(server, kObjSrvService, "mark_committed", std::move(a));
+  if (!r.ok()) co_return r.error();
+  co_return ok_status();
+}
+
+sim::Task<Status> objsrv_cohort_checkpoint(rpc::RpcEndpoint& ep, NodeId server, Uid object,
+                                           std::string class_name, std::uint64_t version,
+                                           Buffer snapshot) {
+  Buffer a;
+  a.pack_uid(object).pack_string(class_name).pack_u64(version).pack_bytes(snapshot);
+  auto r = co_await ep.call(server, kObjSrvService, "cohort_checkpoint", std::move(a));
+  if (!r.ok()) co_return r.error();
+  co_return ok_status();
+}
+
+sim::Task<Result<bool>> objsrv_is_active(rpc::RpcEndpoint& ep, NodeId server, Uid object) {
+  Buffer a;
+  a.pack_uid(object);
+  auto r = co_await ep.call(server, kObjSrvService, "is_active", std::move(a));
+  if (!r.ok()) co_return r.error();
+  auto b = r.value().unpack_bool();
+  if (!b.ok()) co_return Err::BadRequest;
+  co_return b.value();
+}
+
+sim::Task<Status> objsrv_join_group(rpc::RpcEndpoint& ep, NodeId server, Uid object) {
+  Buffer a;
+  a.pack_uid(object);
+  auto r = co_await ep.call(server, kObjSrvService, "join_group", std::move(a));
+  if (!r.ok()) co_return r.error();
+  co_return ok_status();
+}
+
+sim::Task<Status> objsrv_passivate(rpc::RpcEndpoint& ep, NodeId server, Uid object) {
+  Buffer a;
+  a.pack_uid(object);
+  auto r = co_await ep.call(server, kObjSrvService, "passivate", std::move(a));
+  if (!r.ok()) co_return r.error();
+  co_return ok_status();
+}
+
+// ------------------------------------------------------------ GroupInvoker
+
+GroupInvoker::GroupInvoker(rpc::RpcEndpoint& endpoint, rpc::GroupComm& gc)
+    : endpoint_(endpoint), gc_(gc) {
+  endpoint_.register_method("ginv", "reply",
+                            [this](NodeId, Buffer msg) -> sim::Task<Result<Buffer>> {
+                              auto inv = msg.unpack_u64();
+                              auto err = msg.unpack_u32();
+                              auto payload = msg.unpack_bytes();
+                              if (!inv.ok() || !err.ok() || !payload.ok())
+                                co_return Err::BadRequest;
+                              auto it = pending_.find(inv.value());
+                              if (it != pending_.end()) {
+                                counters_.inc("ginv.reply");
+                                if (static_cast<Err>(err.value()) == Err::None)
+                                  it->second.set_value(std::move(payload).value());
+                                else
+                                  it->second.set_value(static_cast<Err>(err.value()));
+                              } else {
+                                counters_.inc("ginv.late_reply");
+                              }
+                              co_return Buffer{};
+                            });
+}
+
+sim::Task<Result<Buffer>> GroupInvoker::invoke(const std::string& group, Uid object, Uid action,
+                                               std::vector<Uid> ancestors,
+                                               actions::LockMode mode, std::string op,
+                                               Buffer args, sim::SimTime timeout) {
+  const std::uint64_t inv = next_id_++;
+  sim::SimPromise<Result<Buffer>> promise{endpoint_.node().sim()};
+  auto future = promise.future();
+  pending_.emplace(inv, promise);
+  endpoint_.node().sim().schedule(timeout, [this, inv] {
+    auto it = pending_.find(inv);
+    if (it == pending_.end()) return;
+    auto p = it->second;
+    pending_.erase(it);
+    counters_.inc("ginv.timeout");
+    p.set_value(Err::Timeout);
+  });
+
+  Buffer msg;
+  msg.pack_u64(inv).pack_u32(endpoint_.node_id()).pack_uid(object).pack_uid(action);
+  msg.pack_uid_vector(ancestors);
+  msg.pack_u8(static_cast<std::uint8_t>(mode)).pack_string(op).pack_bytes(args);
+  gc_.multicast(endpoint_.node_id(), group, std::move(msg), rpc::McastMode::ReliableOrdered);
+  counters_.inc("ginv.multicast");
+
+  Result<Buffer> result = co_await future;
+  pending_.erase(inv);
+  co_return result;
+}
+
+}  // namespace gv::replication

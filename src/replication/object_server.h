@@ -1,0 +1,197 @@
+// Object servers: activation and operation execution (sec 2.2, 3.1).
+//
+// Every node that can "run a server" for objects hosts an
+// ObjectServerHost. Activation loads the object's latest committed state
+// from one of the St(A) stores and instantiates its class; invocation
+// applies operations under object-level locks owned by the calling atomic
+// action, keeping per-action before-images so aborts restore the exact
+// prior state. The host is a transactional participant: nested commits
+// re-key locks and undo data to the parent, top-level commit/abort
+// release them.
+//
+// Active replication runs through the group-invocation path: the client
+// multicasts an invocation to the object's replica group (reliable,
+// totally ordered — sec 2.3) and each functioning member applies it and
+// replies point-to-point; the client takes the first reply. A replica
+// that crashes simply stops replying and is dropped from the delivery
+// view; the client masks the failure as long as one member survives.
+//
+// All of this state is VOLATILE: a node crash destroys every activated
+// object (their latest committed states live in the object stores).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "actions/atomic_action.h"
+#include "actions/lock_manager.h"
+#include "replication/state_machine.h"
+#include "rpc/group_comm.h"
+#include "rpc/rpc.h"
+#include "store/object_store.h"
+
+namespace gv::replication {
+
+using sim::NodeId;
+
+inline constexpr const char* kObjSrvService = "objsrv";
+
+// Name of the replica group for an active-replicated object.
+std::string group_name(const Uid& object);
+
+struct ObjectStatus {
+  bool active = false;
+  std::uint64_t version = 0;
+  bool modified = false;
+};
+
+class ObjectServerHost final : public actions::ServerParticipant {
+ public:
+  ObjectServerHost(sim::Node& node, rpc::RpcEndpoint& endpoint, actions::TxnRegistry& txns,
+                   rpc::GroupComm& gc, ClassRegistry& classes);
+
+  // ---- local API (RPC methods mirror these) ----------------------------
+  // Activate `object` of class `class_name`, loading the latest committed
+  // state from one of `st_nodes` (tried in order; suspect/down stores are
+  // skipped). Idempotent if already active.
+  sim::Task<Status> activate(Uid object, std::string class_name, std::vector<NodeId> st_nodes);
+
+  // Warm-standby activation for coordinator-cohort: instantiate from a
+  // provided snapshot instead of a store read.
+  Status activate_from_snapshot(Uid object, const std::string& class_name, std::uint64_t version,
+                                Buffer snapshot);
+
+  bool is_active(const Uid& object) const { return active_.count(object) > 0; }
+  ObjectStatus status(const Uid& object) const;
+
+  // Recovery gate (sec 4.1.2): a recovered server node must complete its
+  // Insert (the quiescence check) before it may serve an object again —
+  // otherwise a client could activate it from the store mid-way through
+  // another client's action and read a state missing in-flight effects.
+  // The RecoveryDaemon blocks on recovery and unblocks after Insert.
+  void block_activation(const Uid& object) { activation_blocked_.insert(object); }
+  void unblock_activation(const Uid& object) { activation_blocked_.erase(object); }
+  bool activation_blocked(const Uid& object) const {
+    return activation_blocked_.count(object) > 0;
+  }
+
+  // Apply `op` under `mode` lock owned by `action`. `ancestors` is the
+  // action's enclosing chain (outermost last) for Arjuna lock
+  // inheritance: a nested action may acquire locks its ancestors hold.
+  sim::Task<Result<Buffer>> invoke(Uid object, Uid action, std::vector<Uid> ancestors,
+                                   actions::LockMode mode, std::string op, Buffer args);
+
+  // Commit processing support: current state + whether `txn` modified it.
+  struct StateForCommit {
+    std::uint64_t version = 0;
+    bool modified = false;
+    Buffer snapshot;
+  };
+  Result<StateForCommit> state_for_commit(const Uid& object, const Uid& txn) const;
+
+  // Called (remotely) by the commit processor after a successful commit
+  // so the server's cached version matches the stores.
+  void mark_committed(const Uid& object, std::uint64_t new_version);
+
+  // Passivate a quiescent object (sec 2.3(3)): destroys the in-memory
+  // instance. Refused while any action holds its lock or has undo data.
+  Status passivate(const Uid& object);
+
+  // Join the replica group for `object` (active replication). Invocations
+  // delivered through the group are applied exactly like invoke().
+  void join_group(const Uid& object);
+
+  // ---- ServerParticipant ------------------------------------------------
+  sim::Task<bool> prepare(const Uid& txn) override;
+  sim::Task<Status> commit(const Uid& txn) override;
+  sim::Task<Status> abort(const Uid& txn) override;
+  void nested_commit(const Uid& child, const Uid& parent) override;
+  void nested_abort(const Uid& child) override;
+
+  actions::LockManager& locks() noexcept { return locks_; }
+  Counters& counters() noexcept { return counters_; }
+  NodeId node_id() const noexcept { return node_.id(); }
+
+ private:
+  struct Active {
+    std::string class_name;
+    std::unique_ptr<ReplicatedObject> obj;
+    std::uint64_t version = 0;  // committed version the state derives from
+    std::map<Uid, Buffer> before;     // per-action before-images
+    std::set<Uid> modified_by;        // actions that modified the object
+  };
+
+  // Lock waits must resolve BEFORE the caller's RPC deadline so the
+  // client always learns LockRefused instead of timing out blind.
+  static constexpr sim::SimTime kInvokeLockWait = 30 * sim::kMillisecond;
+
+  static std::string lock_name(const Uid& object) { return "obj:" + object.to_string(); }
+  sim::Task<Result<Buffer>> apply_locked(Active& a, Uid object, Uid action,
+                                         actions::LockMode mode, const std::string& op,
+                                         Buffer args);
+  void on_group_deliver(NodeId from, Buffer msg);
+  void register_rpc();
+
+  sim::Node& node_;
+  rpc::RpcEndpoint& endpoint_;
+  rpc::GroupComm& gc_;
+  ClassRegistry& classes_;
+  actions::LockManager locks_;
+  std::map<Uid, Active> active_;  // volatile
+  // Actions already committed/aborted here: an invocation whose lock is
+  // granted after its action terminated (client gave up waiting, then
+  // aborted) must be refused, not applied under a dead action.
+  std::set<Uid> terminated_;  // volatile
+  std::set<Uid> activation_blocked_;  // volatile; managed by RecoveryDaemon
+  Counters counters_;
+};
+
+// --------------------------------------------------------- client stubs
+
+// `timeout` bounds the probe round-trip: activation doubles as the
+// binder's failure detector, so it must not inherit a generous data-path
+// RPC deadline (a dead candidate would stall binding while the caller
+// holds naming-database locks).
+sim::Task<Status> objsrv_activate(rpc::RpcEndpoint& ep, NodeId server, Uid object,
+                                  std::string class_name, std::vector<NodeId> st_nodes,
+                                  sim::SimTime timeout = 60 * sim::kMillisecond);
+sim::Task<Result<Buffer>> objsrv_invoke(rpc::RpcEndpoint& ep, NodeId server, Uid object,
+                                        Uid action, std::vector<Uid> ancestors,
+                                        actions::LockMode mode, std::string op, Buffer args);
+sim::Task<Result<ObjectServerHost::StateForCommit>> objsrv_state_for_commit(rpc::RpcEndpoint& ep,
+                                                                            NodeId server,
+                                                                            Uid object, Uid txn);
+sim::Task<Status> objsrv_mark_committed(rpc::RpcEndpoint& ep, NodeId server, Uid object,
+                                        std::uint64_t new_version);
+sim::Task<Status> objsrv_cohort_checkpoint(rpc::RpcEndpoint& ep, NodeId server, Uid object,
+                                           std::string class_name, std::uint64_t version,
+                                           Buffer snapshot);
+sim::Task<Result<bool>> objsrv_is_active(rpc::RpcEndpoint& ep, NodeId server, Uid object);
+sim::Task<Status> objsrv_passivate(rpc::RpcEndpoint& ep, NodeId server, Uid object);
+sim::Task<Status> objsrv_join_group(rpc::RpcEndpoint& ep, NodeId server, Uid object);
+
+// ----------------------------------------------------------- GroupInvoker
+// Client-side collector for active-replication invocations: multicasts
+// the operation to the replica group and resolves with the FIRST reply
+// (all correct replies are identical by determinism).
+class GroupInvoker {
+ public:
+  GroupInvoker(rpc::RpcEndpoint& endpoint, rpc::GroupComm& gc);
+
+  sim::Task<Result<Buffer>> invoke(const std::string& group, Uid object, Uid action,
+                                   std::vector<Uid> ancestors, actions::LockMode mode,
+                                   std::string op, Buffer args,
+                                   sim::SimTime timeout = 50 * sim::kMillisecond);
+
+  Counters& counters() noexcept { return counters_; }
+
+ private:
+  rpc::RpcEndpoint& endpoint_;
+  rpc::GroupComm& gc_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, sim::SimPromise<Result<Buffer>>> pending_;
+  Counters counters_;
+};
+
+}  // namespace gv::replication

@@ -1,0 +1,185 @@
+#include "replication/recovery.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace gv::replication {
+
+RecoveryDaemon::RecoveryDaemon(sim::Node& node, rpc::RpcEndpoint& endpoint,
+                               store::ObjectStore& store, NodeId naming_node,
+                               ObjectServerHost* host)
+    : node_(node),
+      endpoint_(endpoint),
+      store_(store),
+      naming_node_(naming_node),
+      host_(host),
+      runtime_(endpoint, /*uid_seed=*/0x4EC0 + node.id()) {
+  node_.on_recover([this] {
+    // Synchronously gate served objects BEFORE anything else can run:
+    // until the Insert quiescence check re-admits this node, it must not
+    // activate objects (another client's action may be in flight and our
+    // store-loaded state would miss its effects).
+    if (host_ != nullptr)
+      for (const Uid& object : serves_) host_->block_activation(object);
+    reinserted_.clear();
+    node_.sim().spawn(repair_loop(node_.epoch()));
+  });
+}
+
+sim::Task<> RecoveryDaemon::repair_loop(std::uint64_t epoch) {
+  // Keep repairing until everything local is validated and this node is
+  // re-admitted as a server — transient failures (contended entry locks,
+  // unreachable peers, non-quiescent objects) resolve with time. Bounded
+  // so the event queue always drains.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (!node_.up() || node_.epoch() != epoch) co_return;
+    (void)co_await repair();
+    if (!node_.up() || node_.epoch() != epoch) co_return;
+    const bool clean =
+        store_.suspect_objects().empty() && reinserted_.size() == serves_.size();
+    if (clean) co_return;
+    co_await node_.sim().sleep(250 * sim::kMillisecond);
+  }
+  counters_.inc("recovery.gave_up");
+}
+
+sim::Task<std::uint32_t> RecoveryDaemon::repair() {
+  counters_.inc("recovery.pass");
+  std::uint32_t refreshed = 0;
+
+  // Store role: validate / refresh each suspect object.
+  for (const Uid& object : store_.suspect_objects()) {
+    const bool was_refreshed = co_await repair_store_object(object);
+    if (was_refreshed) ++refreshed;
+    if (!node_.up()) co_return refreshed;  // crashed again mid-repair
+  }
+
+  // Server role: re-announce ourselves via Insert (quiescence check).
+  // NotQuiescent / lock conflicts simply mean clients are busy; the
+  // repair loop retries until the object falls quiet.
+  for (const Uid& object : serves_) {
+    if (reinserted_.count(object) > 0) continue;
+    if (!node_.up()) co_return refreshed;
+    const bool done = co_await reinsert_server(object);
+    if (done) reinserted_.insert(object);
+  }
+  co_return refreshed;
+}
+
+// Scan the given St members for the highest committed version held by a
+// reachable peer. Returns (version, node) — node == kNoNode if none.
+sim::Task<std::pair<std::uint64_t, NodeId>> RecoveryDaemon::best_peer_version(
+    const Uid& object, const std::vector<NodeId>& st) {
+  std::uint64_t best_version = 0;
+  NodeId best_node = sim::kNoNode;
+  for (NodeId peer : st) {
+    if (peer == node_.id()) continue;
+    auto v = co_await store::ObjectStore::remote_version(endpoint_, peer, object);
+    if (v.ok() && v.value() > best_version) {
+      best_version = v.value();
+      best_node = peer;
+    }
+  }
+  co_return std::make_pair(best_version, best_node);
+}
+
+sim::Task<bool> RecoveryDaemon::repair_store_object(const Uid& object) {
+  actions::AtomicAction act{runtime_};
+  auto st = co_await naming::ostdb_get_view(endpoint_, naming_node_, object, act.uid());
+  act.enlist({naming_node_, naming::kOstdbService});
+  if (!st.ok()) {
+    (void)co_await act.abort();
+    counters_.inc("recovery.getview_failed");
+    co_return false;
+  }
+
+  const NodeId self = node_.id();
+  const bool member =
+      std::find(st.value().begin(), st.value().end(), self) != st.value().end();
+  bool refreshed = false;
+
+  if (!member) {
+    // We were excluded: re-admission is the delicate step. Take the
+    // Include write lock FIRST — it conflicts with the read locks every
+    // committing action holds on the St entry, so once granted no commit
+    // is in flight and none can start until we finish. Only then is a
+    // version scan + refresh race-free; refreshing before the lock could
+    // admit a state that a concurrent commit has just superseded.
+    Status inc = co_await naming::ostdb_include(endpoint_, naming_node_, object, self, act.uid());
+    if (!inc.ok()) {
+      (void)co_await act.abort();
+      counters_.inc("recovery.include_refused");
+      co_return false;  // stays suspect; retried on the next pass
+    }
+
+    auto [best_version, best_node] = co_await best_peer_version(object, st.value());
+    if (best_node == sim::kNoNode) {
+      // Nobody reachable holds a current state: we cannot prove our copy
+      // is the latest. Abort the Include and stay suspect.
+      (void)co_await act.abort();
+      counters_.inc("recovery.no_peer");
+      co_return false;
+    }
+    if (best_version > store_.version(object).value_or(0)) {
+      auto latest = co_await store::ObjectStore::remote_read(endpoint_, best_node, object);
+      if (!latest.ok()) {
+        (void)co_await act.abort();
+        counters_.inc("recovery.refresh_failed");
+        co_return false;
+      }
+      (void)store_.write_direct(object, latest.value().version,
+                                std::move(latest.value().state));
+      counters_.inc("recovery.refreshed");
+      refreshed = true;
+    }
+    counters_.inc("recovery.included");
+  } else {
+    // Still a member: any in-flight commit's copy set includes us (its
+    // GetView read the entry with us present), so we only need to catch
+    // up on anything committed while we were down.
+    auto [best_version, best_node] = co_await best_peer_version(object, st.value());
+    if (best_node != sim::kNoNode && best_version > store_.version(object).value_or(0)) {
+      auto latest = co_await store::ObjectStore::remote_read(endpoint_, best_node, object);
+      if (!latest.ok()) {
+        (void)co_await act.abort();
+        counters_.inc("recovery.refresh_failed");
+        co_return false;
+      }
+      (void)store_.write_direct(object, latest.value().version,
+                                std::move(latest.value().state));
+      counters_.inc("recovery.refreshed");
+      refreshed = true;
+    }
+  }
+
+  Status committed = co_await act.commit();
+  if (!committed.ok()) {
+    counters_.inc("recovery.commit_failed");
+    co_return false;
+  }
+  store_.clear_suspect(object);
+  counters_.inc("recovery.validated");
+  co_return refreshed;
+}
+
+sim::Task<bool> RecoveryDaemon::reinsert_server(const Uid& object) {
+  actions::AtomicAction act{runtime_};
+  Status s = co_await naming::osdb_insert(endpoint_, naming_node_, object, node_.id(), act.uid());
+  act.enlist({naming_node_, naming::kOsdbService});
+  if (!s.ok()) {
+    (void)co_await act.abort();
+    counters_.inc(s.error() == Err::NotQuiescent ? "recovery.insert_not_quiescent"
+                                                 : "recovery.insert_failed");
+    co_return false;
+  }
+  Status committed = co_await act.commit();
+  if (committed.ok()) {
+    counters_.inc("recovery.reinserted");
+    if (host_ != nullptr) host_->unblock_activation(object);
+    co_return true;
+  }
+  co_return false;
+}
+
+}  // namespace gv::replication

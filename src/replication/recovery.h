@@ -1,0 +1,79 @@
+// Node recovery protocol (secs 4.1.2, 4.2).
+//
+// A crashed node that recovers must repair two kinds of staleness before
+// rejoining the system:
+//
+//  Store role: "A crashed node with an object store must ensure, upon
+//  recovery, that its objects do contain the latest committed states. For
+//  this purpose, it can run atomic actions to update its object states
+//  and then invoke the Include(..) operation for making the object states
+//  available again."
+//    Every locally stored object was marked SUSPECT at recovery. For each
+//    one: read the current St(A) from the Object State database; if this
+//    node was excluded, fetch the latest committed state from a current
+//    St member, install it, and run Include. If the node is still in St,
+//    compare committed versions against the other members to close the
+//    window where a crash between the prepare and commit phases of a 2PC
+//    left a stale state behind; refresh if behind. Only then does the
+//    store serve the object again.
+//
+//  Server role: "If a node (δ) with a server crashes, then upon recovery
+//  it executes the Insert(UID, δ) operation before it is ready to act as
+//  a server node" — the write lock doubles as a quiescence check, so the
+//  Insert retries while clients are using the object.
+//
+// The daemon arms itself on the node's recovery hook; each repair runs
+// as its own top-level atomic action.
+#pragma once
+
+#include <set>
+
+#include "actions/atomic_action.h"
+#include "naming/object_server_db.h"
+#include "naming/object_state_db.h"
+#include "replication/object_server.h"
+#include "store/object_store.h"
+
+namespace gv::replication {
+
+using sim::NodeId;
+
+class RecoveryDaemon {
+ public:
+  // `host` may be null (store-only nodes); when present, activation of
+  // served objects is blocked across recovery until Insert re-admits the
+  // node (sec 4.1.2).
+  RecoveryDaemon(sim::Node& node, rpc::RpcEndpoint& endpoint, store::ObjectStore& store,
+                 NodeId naming_node, ObjectServerHost* host = nullptr);
+
+  // Declare that this node is a potential server for `object` (stable
+  // configuration, set at object-creation time). Drives the Insert step.
+  void add_served_object(const Uid& object) { serves_.insert(object); }
+
+  // Run one full repair pass; normally triggered automatically on
+  // recovery but callable from tests. Returns the number of objects
+  // refreshed from peers.
+  sim::Task<std::uint32_t> repair();
+
+  Counters& counters() noexcept { return counters_; }
+
+ private:
+  sim::Task<std::pair<std::uint64_t, NodeId>> best_peer_version(const Uid& object,
+                                                                const std::vector<NodeId>& st);
+  sim::Task<bool> repair_store_object(const Uid& object);
+  sim::Task<bool> reinsert_server(const Uid& object);
+
+  sim::Task<> repair_loop(std::uint64_t epoch);
+
+  sim::Node& node_;
+  rpc::RpcEndpoint& endpoint_;
+  store::ObjectStore& store_;
+  NodeId naming_node_;
+  ObjectServerHost* host_;
+  actions::ActionRuntime runtime_;
+  std::set<Uid> serves_;      // stable config: objects this node can serve
+  std::set<Uid> reinserted_;  // volatile: Insert done this incarnation
+  Counters counters_;
+};
+
+}  // namespace gv::replication

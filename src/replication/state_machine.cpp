@@ -1,0 +1,211 @@
+#include "replication/state_machine.h"
+
+namespace gv::replication {
+
+// ------------------------------------------------------------ BankAccount
+
+Buffer BankAccount::snapshot() const {
+  Buffer b;
+  b.pack_i64(balance_);
+  return b;
+}
+
+Status BankAccount::restore(Buffer state) {
+  auto v = state.unpack_i64();
+  if (!v.ok()) return v.error();
+  balance_ = v.value();
+  return ok_status();
+}
+
+Result<Buffer> BankAccount::apply(const std::string& op, Buffer args, bool& modified) {
+  modified = false;
+  if (op == "deposit") {
+    auto amount = args.unpack_i64();
+    if (!amount.ok()) return Err::BadRequest;
+    balance_ += amount.value();
+    modified = true;
+    Buffer out;
+    out.pack_i64(balance_);
+    return out;
+  }
+  if (op == "withdraw") {
+    auto amount = args.unpack_i64();
+    if (!amount.ok()) return Err::BadRequest;
+    if (balance_ < amount.value()) return Err::Conflict;  // insufficient funds
+    balance_ -= amount.value();
+    modified = true;
+    Buffer out;
+    out.pack_i64(balance_);
+    return out;
+  }
+  if (op == "balance") {
+    Buffer out;
+    out.pack_i64(balance_);
+    return out;
+  }
+  return Err::NotFound;
+}
+
+// ---------------------------------------------------------------- Counter
+
+Buffer Counter::snapshot() const {
+  Buffer b;
+  b.pack_i64(value_);
+  return b;
+}
+
+Status Counter::restore(Buffer state) {
+  auto v = state.unpack_i64();
+  if (!v.ok()) return v.error();
+  value_ = v.value();
+  return ok_status();
+}
+
+Result<Buffer> Counter::apply(const std::string& op, Buffer args, bool& modified) {
+  modified = false;
+  if (op == "add") {
+    auto delta = args.unpack_i64();
+    if (!delta.ok()) return Err::BadRequest;
+    value_ += delta.value();
+    modified = true;
+    Buffer out;
+    out.pack_i64(value_);
+    return out;
+  }
+  if (op == "read") {
+    Buffer out;
+    out.pack_i64(value_);
+    return out;
+  }
+  return Err::NotFound;
+}
+
+// --------------------------------------------------------------- EventLog
+
+Buffer EventLog::snapshot() const {
+  Buffer b;
+  b.pack_u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) b.pack_string(e);
+  return b;
+}
+
+Status EventLog::restore(Buffer state) {
+  auto n = state.unpack_u32();
+  if (!n.ok()) return n.error();
+  entries_.clear();
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto e = state.unpack_string();
+    if (!e.ok()) return e.error();
+    entries_.push_back(std::move(e).value());
+  }
+  return ok_status();
+}
+
+Result<Buffer> EventLog::apply(const std::string& op, Buffer args, bool& modified) {
+  modified = false;
+  if (op == "append") {
+    auto entry = args.unpack_string();
+    if (!entry.ok()) return Err::BadRequest;
+    entries_.push_back(std::move(entry).value());
+    modified = true;
+    Buffer out;
+    out.pack_u64(checksum());
+    return out;
+  }
+  if (op == "size") {
+    Buffer out;
+    out.pack_u64(entries_.size());
+    return out;
+  }
+  if (op == "checksum") {
+    Buffer out;
+    out.pack_u64(checksum());
+    return out;
+  }
+  return Err::NotFound;
+}
+
+std::uint64_t EventLog::checksum() const noexcept {
+  // Order-sensitive FNV-1a over entries; any divergence in content OR
+  // order yields a different value.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& e : entries_) {
+    for (char c : e) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0x1F;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------- KvTable
+
+Buffer KvTable::snapshot() const {
+  Buffer b;
+  b.pack_u32(static_cast<std::uint32_t>(table_.size()));
+  for (const auto& [k, v] : table_) b.pack_string(k).pack_string(v);
+  return b;
+}
+
+Status KvTable::restore(Buffer state) {
+  auto n = state.unpack_u32();
+  if (!n.ok()) return n.error();
+  table_.clear();
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto k = state.unpack_string();
+    auto v = state.unpack_string();
+    if (!k.ok() || !v.ok()) return Err::BadRequest;
+    table_[std::move(k).value()] = std::move(v).value();
+  }
+  return ok_status();
+}
+
+Result<Buffer> KvTable::apply(const std::string& op, Buffer args, bool& modified) {
+  modified = false;
+  if (op == "put") {
+    auto k = args.unpack_string();
+    auto v = args.unpack_string();
+    if (!k.ok() || !v.ok()) return Err::BadRequest;
+    auto [it, inserted] = table_.insert_or_assign(std::move(k).value(), std::move(v).value());
+    (void)it;
+    modified = true;
+    Buffer out;
+    out.pack_bool(inserted);
+    return out;
+  }
+  if (op == "get") {
+    auto k = args.unpack_string();
+    if (!k.ok()) return Err::BadRequest;
+    auto it = table_.find(k.value());
+    if (it == table_.end()) return Err::NotFound;
+    Buffer out;
+    out.pack_string(it->second);
+    return out;
+  }
+  if (op == "erase") {
+    auto k = args.unpack_string();
+    if (!k.ok()) return Err::BadRequest;
+    const bool existed = table_.erase(k.value()) > 0;
+    modified = existed;  // erasing a missing key changes nothing
+    Buffer out;
+    out.pack_bool(existed);
+    return out;
+  }
+  if (op == "size") {
+    Buffer out;
+    out.pack_u64(table_.size());
+    return out;
+  }
+  return Err::NotFound;
+}
+
+void register_stock_classes(ClassRegistry& registry) {
+  registry.register_class("bank", [] { return std::make_unique<BankAccount>(); });
+  registry.register_class("counter", [] { return std::make_unique<Counter>(); });
+  registry.register_class("log", [] { return std::make_unique<EventLog>(); });
+  registry.register_class("kv", [] { return std::make_unique<KvTable>(); });
+}
+
+}  // namespace gv::replication

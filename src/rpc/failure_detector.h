@@ -1,0 +1,49 @@
+// Failure detection.
+//
+// The paper leaves cleanup/failure-detection protocols "beyond the scope"
+// (sec 4.1.3) but requires them: the Object Server database must notice
+// crashed clients to repair use lists, and coordinator-cohort replication
+// must notice a dead coordinator to elect a new one. In a fail-silent
+// system a crash is indistinguishable from slowness, so detection is a
+// timeout heuristic: ping with an RPC deadline.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "rpc/rpc.h"
+#include "sim/task.h"
+
+namespace gv::rpc {
+
+class FailureDetector {
+ public:
+  FailureDetector(RpcEndpoint& endpoint, sim::SimTime ping_timeout = 20 * sim::kMillisecond)
+      : endpoint_(endpoint), ping_timeout_(ping_timeout) {}
+
+  // One-shot probe: true iff `target` answered a ping within the deadline.
+  // (A false return can be a false positive under extreme latency; the
+  // protocols above are designed to tolerate that.)
+  sim::Task<bool> alive(NodeId target);
+
+  // Periodic monitor: ping `target` every `period`; invoke `on_failure`
+  // once when a probe fails, then stop. The monitor also stops when this
+  // node crashes (its epoch changes) or when the returned handle is
+  // cancelled.
+  struct Monitor {
+    bool cancelled = false;
+  };
+  std::shared_ptr<Monitor> watch(NodeId target, sim::SimTime period,
+                                 std::function<void()> on_failure);
+
+  sim::SimTime ping_timeout() const noexcept { return ping_timeout_; }
+
+ private:
+  sim::Task<> run_monitor(NodeId target, sim::SimTime period, std::function<void()> on_failure,
+                          std::shared_ptr<Monitor> handle);
+
+  RpcEndpoint& endpoint_;
+  sim::SimTime ping_timeout_;
+};
+
+}  // namespace gv::rpc

@@ -1,0 +1,201 @@
+#include "rpc/rpc.h"
+
+#include "util/log.h"
+
+namespace gv::rpc {
+
+namespace {
+constexpr std::uint8_t kKindRequest = 0;
+constexpr std::uint8_t kKindReply = 1;
+}  // namespace
+
+RpcEndpoint::RpcEndpoint(sim::Node& node, sim::Network& net, RpcConfig cfg)
+    : node_(node), net_(net), cfg_(cfg) {
+  net_.register_handler(node_.id(), [this](NodeId from, Buffer msg) { on_message(from, msg); });
+
+  // Built-in bind/ping service: returns the current incarnation epoch.
+  register_method("sys", "ping", [this](NodeId, Buffer) -> sim::Task<Result<Buffer>> {
+    Buffer out;
+    out.pack_u64(node_.epoch());
+    co_return out;
+  });
+
+  // Process-kill semantics: when this node crashes, every in-flight
+  // outgoing call is abandoned WITHOUT resolving its future — the calling
+  // coroutine never resumes, modelling the death of the client process.
+  node_.on_crash([this] {
+    for (auto& [id, entry] : outstanding_) node_.sim().cancel(entry.second);
+    outstanding_.clear();
+  });
+}
+
+void RpcEndpoint::register_method(const std::string& service, const std::string& method,
+                                  Method fn) {
+  methods_[service + "." + method] = std::move(fn);
+}
+
+void RpcEndpoint::unregister_service(const std::string& service) {
+  const std::string prefix = service + ".";
+  for (auto it = methods_.begin(); it != methods_.end();) {
+    if (it->first.rfind(prefix, 0) == 0)
+      it = methods_.erase(it);
+    else
+      ++it;
+  }
+}
+
+sim::Task<Result<Buffer>> RpcEndpoint::call(NodeId dest, std::string service, std::string method,
+                                            Buffer args) {
+  return call(dest, std::move(service), std::move(method), std::move(args), cfg_.call_timeout);
+}
+
+sim::Task<Result<Buffer>> RpcEndpoint::call(NodeId dest, std::string service, std::string method,
+                                            Buffer args, sim::SimTime timeout) {
+  if (!node_.up()) co_return Err::NodeDown;
+
+  const std::uint64_t req_id = next_req_id_++;
+  sim::SimPromise<Result<Buffer>> promise{node_.sim()};
+  auto future = promise.future();
+  const std::uint64_t timer = node_.sim().schedule(timeout, [this, req_id] {
+    auto it = outstanding_.find(req_id);
+    if (it == outstanding_.end()) return;
+    auto p = it->second.first;
+    outstanding_.erase(it);
+    p.set_value(Err::Timeout);
+  });
+  outstanding_.emplace(req_id, std::make_pair(promise, timer));
+
+  Buffer msg;
+  msg.pack_u8(kKindRequest)
+      .pack_u64(req_id)
+      .pack_u64(0)  // no epoch expectation (unbound call)
+      .pack_string(service + "." + method)
+      .pack_bytes(args);
+  net_.send(node_.id(), dest, std::move(msg));
+  co_return co_await future;
+}
+
+sim::Task<Result<Buffer>> RpcEndpoint::call_bound(Binding& binding, std::string service,
+                                                  std::string method, Buffer args) {
+  if (!binding.valid()) co_return Err::BindingBroken;
+  if (!node_.up()) co_return Err::NodeDown;
+
+  const std::uint64_t req_id = next_req_id_++;
+  sim::SimPromise<Result<Buffer>> promise{node_.sim()};
+  auto future = promise.future();
+  const std::uint64_t timer = node_.sim().schedule(cfg_.call_timeout, [this, req_id] {
+    auto it = outstanding_.find(req_id);
+    if (it == outstanding_.end()) return;
+    auto p = it->second.first;
+    outstanding_.erase(it);
+    p.set_value(Err::Timeout);
+  });
+  outstanding_.emplace(req_id, std::make_pair(promise, timer));
+
+  Buffer msg;
+  msg.pack_u8(kKindRequest)
+      .pack_u64(req_id)
+      .pack_u64(binding.epoch + 1)  // expected incarnation (+1: 0 = none)
+      .pack_string(service + "." + method)
+      .pack_bytes(args);
+  net_.send(node_.id(), binding.server, std::move(msg));
+
+  Result<Buffer> result = co_await future;
+  if (!result.ok() && (result.error() == Err::Timeout || result.error() == Err::BindingBroken ||
+                       result.error() == Err::NodeDown)) {
+    // The server incarnation is gone or unreachable; per sec 3.1 the
+    // binding is broken for the remainder of the action.
+    binding.broken = true;
+  }
+  co_return result;
+}
+
+sim::Task<Result<Binding>> RpcEndpoint::bind(NodeId server) {
+  Result<Buffer> r = co_await call(server, "sys", "ping", Buffer{});
+  if (!r.ok()) co_return r.error();
+  auto epoch = r.value().unpack_u64();
+  if (!epoch.ok()) co_return Err::BadRequest;
+  co_return Binding{server, epoch.value(), false};
+}
+
+void RpcEndpoint::on_message(NodeId from, Buffer msg) {
+  auto kind = msg.unpack_u8();
+  auto req_id = msg.unpack_u64();
+  if (!kind.ok() || !req_id.ok()) return;  // malformed datagram: drop
+  if (kind.value() == kKindRequest)
+    on_request(from, req_id.value(), std::move(msg));
+  else
+    on_reply(req_id.value(), std::move(msg));
+}
+
+void RpcEndpoint::on_request(NodeId from, std::uint64_t req_id, Buffer msg) {
+  auto expected_epoch = msg.unpack_u64();
+  auto key = msg.unpack_string();
+  auto args = msg.unpack_bytes();
+  const std::uint64_t epoch_now = node_.epoch();
+  if (!expected_epoch.ok() || !key.ok() || !args.ok()) {
+    send_reply(from, req_id, Err::BadRequest, epoch_now);
+    return;
+  }
+  if (expected_epoch.value() != 0 && expected_epoch.value() != epoch_now + 1) {
+    // Bound call against a previous incarnation of this node.
+    send_reply(from, req_id, Err::BindingBroken, epoch_now);
+    return;
+  }
+  node_.sim().spawn(run_handler(from, req_id, std::move(key).value(), std::move(args).value()));
+}
+
+sim::Task<> RpcEndpoint::run_handler(NodeId from, std::uint64_t req_id, std::string key,
+                                     Buffer args) {
+  const std::uint64_t epoch_at_receipt = node_.epoch();
+  auto it = methods_.find(key);
+  if (it == methods_.end()) {
+    send_reply(from, req_id, Err::NotFound, epoch_at_receipt);
+    co_return;
+  }
+  // Copy the handler so re-registration during a suspended call is safe.
+  Method handler = it->second;
+  Result<Buffer> result = co_await handler(from, std::move(args));
+  send_reply(from, req_id, result, epoch_at_receipt);
+}
+
+void RpcEndpoint::send_reply(NodeId to, std::uint64_t req_id, const Result<Buffer>& result,
+                             std::uint64_t epoch_at_receipt) {
+  // Fail-silence: a handler that was interrupted by a crash (or whose node
+  // recovered into a new incarnation) sends nothing; the client times out.
+  if (!node_.up() || node_.epoch() != epoch_at_receipt) return;
+  Buffer msg;
+  msg.pack_u8(kKindReply).pack_u64(req_id).pack_u32(static_cast<std::uint32_t>(
+      result.ok() ? Err::None : result.error()));
+  if (result.ok())
+    msg.pack_bytes(result.value());
+  else
+    msg.pack_bytes(Buffer{});
+  net_.send(node_.id(), to, std::move(msg));
+}
+
+void RpcEndpoint::on_reply(std::uint64_t req_id, Buffer msg) {
+  auto it = outstanding_.find(req_id);
+  if (it == outstanding_.end()) return;  // late or duplicate reply: drop
+  auto promise = it->second.first;
+  node_.sim().cancel(it->second.second);
+  outstanding_.erase(it);
+
+  auto err = msg.unpack_u32();
+  auto payload = msg.unpack_bytes();
+  if (!err.ok() || !payload.ok()) {
+    promise.set_value(Err::BadRequest);
+    return;
+  }
+  if (static_cast<Err>(err.value()) != Err::None)
+    promise.set_value(static_cast<Err>(err.value()));
+  else
+    promise.set_value(std::move(payload).value());
+}
+
+RpcFabric::RpcFabric(sim::Cluster& cluster, sim::Network& net, RpcConfig cfg) {
+  for (NodeId id = 0; id < cluster.size(); ++id)
+    endpoints_.push_back(std::make_unique<RpcEndpoint>(cluster.node(id), net, cfg));
+}
+
+}  // namespace gv::rpc

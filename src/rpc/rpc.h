@@ -1,0 +1,109 @@
+// RPC layer: operation invocation on (possibly remote) objects, sec 2.2.
+//
+// Request/reply over the datagram Network with per-call timeouts. Servers
+// register named methods; handlers are coroutines so they can themselves
+// make nested RPCs (e.g. an object server fetching state from an object
+// store while serving an activation request).
+//
+// Bindings (sec 3.1): a client's binding to a server is created when the
+// first invocation is made and carries the server node's epoch. If the
+// server node crashes, the binding is broken and STAYS broken for the
+// remainder of the client's atomic action, even if the node recovers —
+// the recovered node holds pre-crash state and must run the recovery
+// protocol (sec 4.2) before serving again.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "sim/future.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/task.h"
+#include "util/buffer.h"
+#include "util/result.h"
+
+namespace gv::rpc {
+
+using sim::NodeId;
+
+// A client's view of one server incarnation.
+struct Binding {
+  NodeId server = sim::kNoNode;
+  std::uint64_t epoch = 0;
+  bool broken = false;
+
+  bool valid() const noexcept { return server != sim::kNoNode && !broken; }
+};
+
+struct RpcConfig {
+  sim::SimTime call_timeout = 50 * sim::kMillisecond;
+};
+
+class RpcEndpoint {
+ public:
+  RpcEndpoint(sim::Node& node, sim::Network& net, RpcConfig cfg = {});
+
+  // A method handler; `from` identifies the calling node.
+  using Method = std::function<sim::Task<Result<Buffer>>(NodeId from, Buffer args)>;
+
+  // Register "service.method". Re-registration replaces (used after
+  // recovery when services restart).
+  void register_method(const std::string& service, const std::string& method, Method fn);
+  void unregister_service(const std::string& service);
+
+  // Plain call: send request, await reply or timeout.
+  sim::Task<Result<Buffer>> call(NodeId dest, std::string service, std::string method,
+                                 Buffer args);
+  sim::Task<Result<Buffer>> call(NodeId dest, std::string service, std::string method,
+                                 Buffer args, sim::SimTime timeout);
+
+  // Bound call (sec 3.1): refuses immediately with BindingBroken if the
+  // server incarnation the binding was made against is gone; marks the
+  // binding broken on timeout.
+  sim::Task<Result<Buffer>> call_bound(Binding& binding, std::string service, std::string method,
+                                       Buffer args);
+
+  // Create a binding against the server node's *current* incarnation.
+  // Fails if the node is down (from this node's perspective: we must be
+  // able to reach it; an unreachable node looks identical to a crashed
+  // one, so this performs a real round-trip "bind" ping).
+  sim::Task<Result<Binding>> bind(NodeId server);
+
+  sim::Node& node() noexcept { return node_; }
+  NodeId node_id() const noexcept { return node_.id(); }
+  RpcConfig& config() noexcept { return cfg_; }
+
+ private:
+  void on_message(NodeId from, Buffer msg);
+  void on_request(NodeId from, std::uint64_t req_id, Buffer msg);
+  void on_reply(std::uint64_t req_id, Buffer msg);
+  sim::Task<> run_handler(NodeId from, std::uint64_t req_id, std::string key, Buffer args);
+  void send_reply(NodeId to, std::uint64_t req_id, const Result<Buffer>& result,
+                  std::uint64_t epoch_at_receipt);
+
+  sim::Node& node_;
+  sim::Network& net_;
+  RpcConfig cfg_;
+  std::uint64_t next_req_id_ = 1;
+  std::unordered_map<std::string, Method> methods_;
+  // req_id -> (reply promise, timeout event id)
+  std::unordered_map<std::uint64_t, std::pair<sim::SimPromise<Result<Buffer>>, std::uint64_t>>
+      outstanding_;
+};
+
+// The cluster-wide RPC fabric: one endpoint per node, plus a built-in
+// "bind"/"ping" service on every node.
+class RpcFabric {
+ public:
+  RpcFabric(sim::Cluster& cluster, sim::Network& net, RpcConfig cfg = {});
+
+  RpcEndpoint& endpoint(NodeId id) { return *endpoints_.at(id); }
+
+ private:
+  std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;
+};
+
+}  // namespace gv::rpc

@@ -1,0 +1,79 @@
+// One-shot future/promise bridging events and coroutines.
+//
+// The resolver side (e.g. an arriving RPC reply, or a timeout timer) calls
+// set_value; the consumer co_awaits the future. First resolution wins:
+// a reply that arrives after the timeout already resolved the future is
+// silently dropped, which is exactly the at-most-once semantics the RPC
+// layer wants.
+//
+// Resumption is scheduled through the Simulator as a zero-delay event
+// rather than inline, so resolvers never re-enter consumer stacks.
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace gv::sim {
+
+template <typename T>
+class SimFuture;
+
+template <typename T>
+class SimPromise {
+ public:
+  explicit SimPromise(Simulator& sim) : state_(std::make_shared<State>(&sim)) {}
+
+  SimFuture<T> future() const { return SimFuture<T>{state_}; }
+
+  // Resolve. Returns true if this call won (first resolution).
+  bool set_value(T value) const {
+    if (state_->value.has_value()) return false;
+    state_->value.emplace(std::move(value));
+    if (state_->waiter) {
+      auto h = std::exchange(state_->waiter, nullptr);
+      state_->sim->schedule(0, [h] { h.resume(); });
+    }
+    return true;
+  }
+
+  bool resolved() const noexcept { return state_->value.has_value(); }
+
+ private:
+  friend class SimFuture<T>;
+  struct State {
+    explicit State(Simulator* s) : sim(s) {}
+    Simulator* sim;
+    std::optional<T> value;
+    std::coroutine_handle<> waiter;
+  };
+  std::shared_ptr<State> state_;
+};
+
+template <typename T>
+class [[nodiscard]] SimFuture {
+ public:
+  SimFuture() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  auto operator co_await() const noexcept {
+    struct Awaiter {
+      std::shared_ptr<typename SimPromise<T>::State> state;
+      bool await_ready() const noexcept { return state->value.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) noexcept { state->waiter = h; }
+      T await_resume() { return std::move(*state->value); }
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  friend class SimPromise<T>;
+  explicit SimFuture(std::shared_ptr<typename SimPromise<T>::State> st) : state_(std::move(st)) {}
+  std::shared_ptr<typename SimPromise<T>::State> state_;
+};
+
+}  // namespace gv::sim

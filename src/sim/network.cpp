@@ -1,0 +1,68 @@
+#include "sim/network.h"
+
+#include "util/log.h"
+
+namespace gv::sim {
+
+SimTime Network::sample_latency() {
+  const double jitter = cfg_.jitter_mean_us > 0 ? rng_.exponential(cfg_.jitter_mean_us) : 0.0;
+  return cfg_.base_latency + static_cast<SimTime>(jitter);
+}
+
+void Network::send(NodeId from, NodeId to, Buffer msg) {
+  counters_.inc("net.send");
+  if (!cluster_.up(from)) {
+    counters_.inc("net.drop_sender_down");
+    return;
+  }
+  if (!reachable(from, to)) {
+    counters_.inc("net.drop_partition");
+    return;
+  }
+  if (cfg_.loss_prob > 0 && rng_.bernoulli(cfg_.loss_prob)) {
+    counters_.inc("net.drop_loss");
+    return;
+  }
+  const SimTime latency = sample_latency();
+  sim_.schedule(latency, [this, from, to, msg = std::move(msg)]() mutable {
+    if (!cluster_.up(to)) {
+      counters_.inc("net.drop_receiver_down");
+      return;
+    }
+    auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      counters_.inc("net.drop_no_handler");
+      return;
+    }
+    counters_.inc("net.deliver");
+    it->second(from, std::move(msg));
+  });
+}
+
+void Network::set_reachable(NodeId a, NodeId b, bool r) {
+  if (r)
+    blocked_.erase({a, b});
+  else
+    blocked_[{a, b}] = true;
+}
+
+bool Network::reachable(NodeId a, NodeId b) const {
+  return blocked_.find({a, b}) == blocked_.end();
+}
+
+void Network::partition(const std::vector<NodeId>& side_a, const std::vector<NodeId>& side_b) {
+  for (NodeId a : side_a)
+    for (NodeId b : side_b) {
+      set_reachable(a, b, false);
+      set_reachable(b, a, false);
+    }
+  GV_LOG(LogLevel::Info, sim_.now(), "net", "partition installed (%zu x %zu)", side_a.size(),
+         side_b.size());
+}
+
+void Network::heal() {
+  blocked_.clear();
+  GV_LOG(LogLevel::Info, sim_.now(), "net", "partition healed");
+}
+
+}  // namespace gv::sim

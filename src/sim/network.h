@@ -1,0 +1,75 @@
+// Message-passing network between nodes (sec 2.1: a LAN connecting
+// workstations).
+//
+// Point-to-point datagram semantics: messages may be lost (configurable
+// probability), are delayed by base latency plus an exponential jitter
+// tail, and are NOT delivered to crashed or partitioned nodes. Delivery
+// order between a pair of nodes is not guaranteed (jitter can reorder) —
+// exactly the environment in which the paper's ordering guarantees for
+// replica groups (sec 2.3) become necessary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "util/buffer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gv::sim {
+
+struct NetConfig {
+  SimTime base_latency = 500 * kMicrosecond;  // propagation + processing floor
+  double jitter_mean_us = 300.0;              // exponential extra delay
+  double loss_prob = 0.0;                     // per-message drop probability
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, Cluster& cluster, NetConfig cfg = {})
+      : sim_(sim), cluster_(cluster), cfg_(cfg), rng_(sim.rng().fork()) {}
+
+  using Handler = std::function<void(NodeId from, Buffer msg)>;
+
+  // One handler per node; the RPC endpoint demultiplexes above this.
+  void register_handler(NodeId node, Handler h) { handlers_[node] = std::move(h); }
+
+  // Fire-and-forget send. Sender must be up (silently dropped otherwise:
+  // a crashed node emits nothing, per fail-silence).
+  void send(NodeId from, NodeId to, Buffer msg);
+
+  // Partition control: a message from a to b is delivered only if
+  // reachable(a,b). Reachability defaults to full connectivity and is
+  // symmetric only if the caller keeps it so.
+  void set_reachable(NodeId a, NodeId b, bool reachable);
+  bool reachable(NodeId a, NodeId b) const;
+  // Split the cluster into two sides; cross-side traffic is blocked.
+  void partition(const std::vector<NodeId>& side_a, const std::vector<NodeId>& side_b);
+  void heal();
+
+  NetConfig& config() noexcept { return cfg_; }
+  Counters& counters() noexcept { return counters_; }
+
+  SimTime sample_latency();
+
+ private:
+  struct PairHash {
+    std::size_t operator()(const std::pair<NodeId, NodeId>& p) const noexcept {
+      return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(p.first) << 32) | p.second);
+    }
+  };
+
+  Simulator& sim_;
+  Cluster& cluster_;
+  NetConfig cfg_;
+  Rng rng_;
+  std::unordered_map<NodeId, Handler> handlers_;
+  std::unordered_map<std::pair<NodeId, NodeId>, bool, PairHash> blocked_;
+  Counters counters_;
+};
+
+}  // namespace gv::sim

@@ -1,0 +1,35 @@
+#include "sim/node.h"
+
+#include "util/log.h"
+
+namespace gv::sim {
+
+void Node::crash() {
+  if (!up_) return;
+  up_ = false;
+  ++epoch_;
+  ++crash_count_;
+  GV_LOG(LogLevel::Info, sim_.now(), "node", "node %u CRASH (epoch %llu)", id_,
+         static_cast<unsigned long long>(epoch_));
+  for (auto& fn : crash_listeners_) fn();
+}
+
+void Node::recover() {
+  if (up_) return;
+  up_ = true;
+  GV_LOG(LogLevel::Info, sim_.now(), "node", "node %u RECOVER (epoch %llu)", id_,
+         static_cast<unsigned long long>(epoch_));
+  for (auto& fn : recover_listeners_) fn();
+}
+
+NodeId Cluster::add_node() {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(sim_, id));
+  return id;
+}
+
+void Cluster::add_nodes(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) add_node();
+}
+
+}  // namespace gv::sim

@@ -1,0 +1,64 @@
+#include "sim/simulator.h"
+
+namespace gv::sim {
+
+namespace {
+
+// Detached driver: starts eagerly, awaits the task, self-destroys at end.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+Detached drive(Task<> task) { co_await std::move(task); }
+
+}  // namespace
+
+std::uint64_t Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  const std::uint64_t id = next_seq_++;
+  events_.push(Event{now_ + delay, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::cancel(std::uint64_t event_id) { cancelled_.insert(event_id); }
+
+void Simulator::spawn(Task<> task) { drive(std::move(task)); }
+
+bool Simulator::step() {
+  while (!events_.empty()) {
+    // priority_queue::top returns const&; the Event must be moved out
+    // before pop, so copy the metadata and move the closure via const_cast
+    // (safe: we pop immediately and never touch the source again).
+    auto& top = const_cast<Event&>(events_.top());
+    Event ev{top.at, top.seq, std::move(top.fn)};
+    events_.pop();
+    if (cancelled_.erase(ev.seq) > 0) continue;  // skip cancelled
+    now_ = ev.at;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime limit) {
+  std::size_t n = 0;
+  while (!events_.empty() && events_.top().at <= limit) {
+    if (step()) ++n;
+  }
+  if (now_ < limit) now_ = limit;
+  return n;
+}
+
+}  // namespace gv::sim

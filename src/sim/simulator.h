@@ -1,0 +1,91 @@
+// Deterministic discrete-event simulator.
+//
+// A single-threaded event loop over (time, sequence) ordered events.
+// Determinism contract: with the same seed and the same program, every run
+// produces the identical event order — ties are broken by insertion
+// sequence number, and all randomness flows from the simulator's Rng tree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/task.h"
+#include "util/rng.h"
+
+namespace gv::sim {
+
+// Simulated time in microseconds.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+  Rng& rng() noexcept { return rng_; }
+
+  // Schedule `fn` to run `delay` after now. Returns an event id usable
+  // with cancel().
+  std::uint64_t schedule(SimTime delay, std::function<void()> fn);
+  void cancel(std::uint64_t event_id);
+
+  // Launch a detached coroutine process. It runs until its first
+  // suspension immediately (still "at" the current simulated time).
+  void spawn(Task<> task);
+
+  // Awaitable: suspend the current coroutine for `delay` simulated time.
+  auto sleep(SimTime delay) {
+    struct Awaiter {
+      Simulator* sim;
+      SimTime delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->schedule(delay, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, delay};
+  }
+
+  // Run until the event queue drains or `limit` is reached. Returns the
+  // number of events processed.
+  std::size_t run();
+  std::size_t run_until(SimTime limit);
+
+  bool idle() const noexcept { return events_.empty(); }
+  std::size_t events_processed() const noexcept { return processed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  bool step();  // pop + run one event; false if queue empty
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace gv::sim

@@ -1,0 +1,133 @@
+// Coroutine task types for the discrete-event simulation.
+//
+// Every "process" in the simulated distributed system — a client
+// application, an RPC server loop, a checkpoint daemon — is a lazy
+// Task<T> coroutine scheduled by the Simulator. Awaiting a Task starts it
+// and transfers control back when it completes (symmetric transfer, so
+// arbitrarily deep call chains don't grow the stack).
+//
+// Tasks are single-owner, move-only; the Task object owns the coroutine
+// frame. Detached top-level processes are launched via Simulator::spawn.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace gv::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      // Resume whoever co_awaited us; if nobody did (detached driver),
+      // return to the scheduler.
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept {
+    // Expected failures travel as Result<T>; an escaped exception is a
+    // logic error in the library itself.
+    std::terminate();
+  }
+};
+
+template <typename T>
+struct TaskPromise : TaskPromiseBase {
+  std::optional<T> value;
+
+  Task<T> get_return_object() noexcept;
+  void return_value(T v) { value.emplace(std::move(v)); }
+};
+
+template <>
+struct TaskPromise<void> : TaskPromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() noexcept {}
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+
+  // Awaiting a Task: start it lazily with the awaiter as continuation.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+        handle.promise().continuation = cont;
+        return handle;  // start the child coroutine
+      }
+      T await_resume() {
+        if constexpr (!std::is_void_v<T>) {
+          assert(handle.promise().value.has_value());
+          return std::move(*handle.promise().value);
+        }
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+  // For the detached driver: direct access (library-internal).
+  std::coroutine_handle<promise_type> release() noexcept { return std::exchange(handle_, nullptr); }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> TaskPromise<T>::get_return_object() noexcept {
+  return Task<T>{std::coroutine_handle<TaskPromise<T>>::from_promise(*this)};
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() noexcept {
+  return Task<void>{std::coroutine_handle<TaskPromise<void>>::from_promise(*this)};
+}
+
+}  // namespace detail
+
+}  // namespace gv::sim

@@ -1,0 +1,358 @@
+#include "store/object_store.h"
+
+#include "actions/coordinator_log.h"
+
+#include "util/log.h"
+
+namespace gv::store {
+
+ObjectStore::ObjectStore(sim::Node& node, rpc::RpcEndpoint& endpoint)
+    : node_(node), endpoint_(endpoint) {
+  register_rpc();
+
+  node_.on_crash([this] {
+    // Volatile state only; committed_ and shadows_ are stable.
+    suspects_.clear();
+  });
+  node_.on_recover([this] {
+    // Shadows that survived the crash are IN-DOUBT: this store voted yes
+    // and never learned the outcome. Presuming abort here would LOSE a
+    // commit the coordinator already decided; resolve by asking it.
+    for (auto& [txn, set] : shadows_) {
+      set.in_doubt = true;
+      counters_.inc("store.in_doubt_shadow");
+    }
+    // Every object is suspect until the recovery protocol validates it.
+    for (const auto& [uid, vs] : committed_) suspects_.insert(uid);
+    if (!shadows_.empty()) node_.sim().spawn(resolve_in_doubt(node_.epoch()));
+  });
+}
+
+Result<VersionedState> ObjectStore::read(const Uid& uid) const {
+  auto it = committed_.find(uid);
+  if (it == committed_.end()) return Err::NotFound;
+  if (suspects_.count(uid) > 0) return Err::Conflict;  // recovering; refuse
+  return it->second;
+}
+
+Result<std::uint64_t> ObjectStore::version(const Uid& uid) const {
+  auto it = committed_.find(uid);
+  if (it == committed_.end()) return Err::NotFound;
+  return it->second.version;
+}
+
+Status ObjectStore::prepare(const Uid& uid, const Uid& txn, std::uint64_t version, Buffer state,
+                            NodeId coordinator) {
+  auto it = committed_.find(uid);
+  if (it != committed_.end() && it->second.version >= version) {
+    counters_.inc("store.prepare_stale");
+    return Err::Conflict;  // a later state is already committed
+  }
+  ShadowSet& set = shadows_[txn];
+  if (set.writes.empty()) set.created_at = node_.sim().now();
+  set.coordinator = coordinator;
+  set.writes[uid] = VersionedState{version, std::move(state)};
+  counters_.inc("store.prepare");
+  return ok_status();
+}
+
+std::size_t ObjectStore::in_doubt_count() const {
+  std::size_t n = 0;
+  for (const auto& [txn, set] : shadows_)
+    if (set.in_doubt) ++n;
+  return n;
+}
+
+sim::Task<> ObjectStore::resolve_in_doubt(std::uint64_t epoch) {
+  // Snapshot the in-doubt txn ids; commits/aborts may arrive meanwhile.
+  std::vector<Uid> pending;
+  for (const auto& [txn, set] : shadows_)
+    if (set.in_doubt) pending.push_back(txn);
+
+  for (const Uid& txn : pending) {
+    if (!node_.up() || node_.epoch() != epoch) co_return;
+    auto it = shadows_.find(txn);
+    if (it == shadows_.end() || !it->second.in_doubt) continue;  // resolved meanwhile
+    const NodeId coordinator = it->second.coordinator;
+
+    actions::TxnOutcome outcome = actions::TxnOutcome::Unknown;
+    if (coordinator != sim::kNoNode) {
+      // Unknown from a LIVE coordinator can mean "still deciding": retry
+      // with backoff; only a persistent Unknown (coordinator lost the
+      // record, i.e. it crashed before deciding, or the action was
+      // abandoned) becomes a presumed abort.
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        auto r = co_await actions::CoordinatorLog::remote_outcome(endpoint_, coordinator, txn);
+        if (r.ok() && r.value() != actions::TxnOutcome::Unknown) {
+          outcome = r.value();
+          break;
+        }
+        co_await node_.sim().sleep(200 * sim::kMillisecond);
+        if (!node_.up() || node_.epoch() != epoch) co_return;
+        // A phase-2 RPC may have resolved it while we slept.
+        if (shadows_.find(txn) == shadows_.end()) break;
+      }
+    }
+    // Re-find: the wait may have resolved it through a phase-2 RPC.
+    it = shadows_.find(txn);
+    if (it == shadows_.end()) continue;
+    if (outcome == actions::TxnOutcome::Committed) {
+      counters_.inc("store.in_doubt_committed");
+      (void)commit(txn);
+    } else {
+      // Aborted, or Unknown after retries: presume abort (the blocking
+      // compromise; counted so experiments can see it).
+      counters_.inc(outcome == actions::TxnOutcome::Aborted ? "store.in_doubt_aborted"
+                                                            : "store.in_doubt_presumed_abort");
+      (void)abort(txn);
+    }
+  }
+}
+
+Status ObjectStore::commit(const Uid& txn) {
+  auto it = shadows_.find(txn);
+  if (it == shadows_.end()) return Err::NotFound;
+  for (auto& [uid, vs] : it->second.writes) {
+    auto cit = committed_.find(uid);
+    // Install unless something newer arrived (cannot happen under 2PL,
+    // but the check keeps the store self-protecting).
+    if (cit == committed_.end() || cit->second.version < vs.version)
+      committed_[uid] = std::move(vs);
+  }
+  shadows_.erase(it);
+  counters_.inc("store.commit");
+  return ok_status();
+}
+
+Status ObjectStore::abort(const Uid& txn) {
+  shadows_.erase(txn);
+  counters_.inc("store.abort");
+  return ok_status();
+}
+
+Status ObjectStore::write_direct(const Uid& uid, std::uint64_t version, Buffer state) {
+  auto it = committed_.find(uid);
+  if (it != committed_.end() && it->second.version > version) {
+    counters_.inc("store.direct_stale");
+    return Err::Conflict;
+  }
+  committed_[uid] = VersionedState{version, std::move(state)};
+  counters_.inc("store.direct_write");
+  return ok_status();
+}
+
+bool ObjectStore::contains(const Uid& uid) const { return committed_.count(uid) > 0; }
+
+void ObjectStore::rekey_shadow(const Uid& child, const Uid& parent) {
+  auto it = shadows_.find(child);
+  if (it == shadows_.end()) return;
+  ShadowSet& dst = shadows_[parent];
+  if (dst.writes.empty()) dst.created_at = it->second.created_at;
+  for (auto& [uid, vs] : it->second.writes) {
+    // Child wrote after (within) the parent: the child's state is newer.
+    dst.writes[uid] = std::move(vs);
+  }
+  shadows_.erase(child);
+}
+
+std::size_t ObjectStore::reap_orphan_shadows(sim::SimTime min_age) {
+  const sim::SimTime now = node_.sim().now();
+  std::size_t reaped = 0;
+  for (auto it = shadows_.begin(); it != shadows_.end();) {
+    if (it->second.in_doubt) {
+      ++it;  // being resolved via the coordinator; never reap blindly
+      continue;
+    }
+    if (now - it->second.created_at >= min_age) {
+      it = shadows_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  if (reaped > 0) counters_.inc("store.reaped_orphan_shadows", reaped);
+  return reaped;
+}
+
+void ObjectStore::start_reaper(sim::SimTime period, sim::SimTime min_age) {
+  if (reaper_running_) return;
+  reaper_running_ = true;
+  struct Loop {
+    static sim::Task<> run(ObjectStore& self, sim::SimTime period, sim::SimTime min_age,
+                           std::uint64_t epoch) {
+      while (self.reaper_running_ && self.node_.up() && self.node_.epoch() == epoch) {
+        co_await self.node_.sim().sleep(period);
+        if (!self.reaper_running_ || !self.node_.up() || self.node_.epoch() != epoch) co_return;
+        (void)self.reap_orphan_shadows(min_age);
+      }
+    }
+  };
+  node_.sim().spawn(Loop::run(*this, period, min_age, node_.epoch()));
+  node_.on_recover([this, period, min_age] {
+    if (reaper_running_)
+      node_.sim().spawn(Loop::run(*this, period, min_age, node_.epoch()));
+  });
+}
+
+std::vector<Uid> ObjectStore::local_objects() const {
+  std::vector<Uid> out;
+  out.reserve(committed_.size());
+  for (const auto& [uid, vs] : committed_) out.push_back(uid);
+  return out;
+}
+
+std::vector<Uid> ObjectStore::suspect_objects() const {
+  return {suspects_.begin(), suspects_.end()};
+}
+
+// --------------------------------------------------------------- RPC glue
+
+void ObjectStore::register_rpc() {
+  endpoint_.register_method(kStoreService, "read",
+                            [this](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+                              auto uid = args.unpack_uid();
+                              if (!uid.ok()) co_return Err::BadRequest;
+                              auto r = read(uid.value());
+                              if (!r.ok()) co_return r.error();
+                              Buffer out;
+                              out.pack_u64(r.value().version).pack_bytes(r.value().state);
+                              co_return out;
+                            });
+  endpoint_.register_method(kStoreService, "version",
+                            [this](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+                              auto uid = args.unpack_uid();
+                              if (!uid.ok()) co_return Err::BadRequest;
+                              auto r = version(uid.value());
+                              if (!r.ok()) co_return r.error();
+                              Buffer out;
+                              out.pack_u64(r.value());
+                              co_return out;
+                            });
+  endpoint_.register_method(kStoreService, "prepare",
+                            [this](NodeId from, Buffer args) -> sim::Task<Result<Buffer>> {
+                              auto uid = args.unpack_uid();
+                              auto txn = args.unpack_uid();
+                              auto ver = args.unpack_u64();
+                              auto state = args.unpack_bytes();
+                              if (!uid.ok() || !txn.ok() || !ver.ok() || !state.ok())
+                                co_return Err::BadRequest;
+                              // The caller is the coordinator (the commit
+                              // processor runs on the client node).
+                              Status s = prepare(uid.value(), txn.value(), ver.value(),
+                                                 std::move(state).value(), from);
+                              if (!s.ok()) co_return s.error();
+                              co_return Buffer{};
+                            });
+  endpoint_.register_method(kStoreService, "commit",
+                            [this](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+                              auto txn = args.unpack_uid();
+                              if (!txn.ok()) co_return Err::BadRequest;
+                              Status s = commit(txn.value());
+                              if (!s.ok()) co_return s.error();
+                              co_return Buffer{};
+                            });
+  endpoint_.register_method(kStoreService, "abort",
+                            [this](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+                              auto txn = args.unpack_uid();
+                              if (!txn.ok()) co_return Err::BadRequest;
+                              Status s = abort(txn.value());
+                              if (!s.ok()) co_return s.error();
+                              co_return Buffer{};
+                            });
+  endpoint_.register_method(kStoreService, "write_direct",
+                            [this](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+                              auto uid = args.unpack_uid();
+                              auto ver = args.unpack_u64();
+                              auto state = args.unpack_bytes();
+                              if (!uid.ok() || !ver.ok() || !state.ok()) co_return Err::BadRequest;
+                              Status s =
+                                  write_direct(uid.value(), ver.value(), std::move(state).value());
+                              if (!s.ok()) co_return s.error();
+                              co_return Buffer{};
+                            });
+}
+
+sim::Task<Result<VersionedState>> ObjectStore::remote_read(rpc::RpcEndpoint& from, NodeId dest,
+                                                           Uid uid) {
+  Buffer args;
+  args.pack_uid(uid);
+  auto r = co_await from.call(dest, kStoreService, "read", std::move(args));
+  if (!r.ok()) co_return r.error();
+  auto ver = r.value().unpack_u64();
+  auto state = r.value().unpack_bytes();
+  if (!ver.ok() || !state.ok()) co_return Err::BadRequest;
+  co_return VersionedState{ver.value(), std::move(state).value()};
+}
+
+sim::Task<Result<std::uint64_t>> ObjectStore::remote_version(rpc::RpcEndpoint& from, NodeId dest,
+                                                             Uid uid) {
+  Buffer args;
+  args.pack_uid(uid);
+  auto r = co_await from.call(dest, kStoreService, "version", std::move(args));
+  if (!r.ok()) co_return r.error();
+  auto ver = r.value().unpack_u64();
+  if (!ver.ok()) co_return Err::BadRequest;
+  co_return ver.value();
+}
+
+sim::Task<Status> ObjectStore::remote_prepare(rpc::RpcEndpoint& from, NodeId dest, Uid uid,
+                                              Uid txn, std::uint64_t version, Buffer state,
+                                              NodeId coordinator) {
+  (void)coordinator;  // carried implicitly: the RPC sender IS the coordinator
+  Buffer args;
+  args.pack_uid(uid).pack_uid(txn).pack_u64(version).pack_bytes(state);
+  auto r = co_await from.call(dest, kStoreService, "prepare", std::move(args));
+  if (!r.ok()) co_return r.error();
+  co_return ok_status();
+}
+
+sim::Task<Status> ObjectStore::remote_commit(rpc::RpcEndpoint& from, NodeId dest, Uid txn) {
+  Buffer args;
+  args.pack_uid(txn);
+  auto r = co_await from.call(dest, kStoreService, "commit", std::move(args));
+  if (!r.ok()) co_return r.error();
+  co_return ok_status();
+}
+
+sim::Task<Status> ObjectStore::remote_abort(rpc::RpcEndpoint& from, NodeId dest, Uid txn) {
+  Buffer args;
+  args.pack_uid(txn);
+  auto r = co_await from.call(dest, kStoreService, "abort", std::move(args));
+  if (!r.ok()) co_return r.error();
+  co_return ok_status();
+}
+
+sim::Task<Status> ObjectStore::remote_write_direct(rpc::RpcEndpoint& from, NodeId dest, Uid uid,
+                                                   std::uint64_t version, Buffer state) {
+  Buffer args;
+  args.pack_uid(uid).pack_u64(version).pack_bytes(state);
+  auto r = co_await from.call(dest, kStoreService, "write_direct", std::move(args));
+  if (!r.ok()) co_return r.error();
+  co_return ok_status();
+}
+
+// ---------------------------------------------------------- participant
+
+sim::Task<bool> StoreTxnParticipant::prepare(const Uid& txn) {
+  // The commit processor only enlists a store it staged writes at, so a
+  // missing shadow means the shadow was lost (crash + presumed-abort
+  // recovery scan) — vote no.
+  co_return store_.has_shadow(txn);
+}
+
+sim::Task<Status> StoreTxnParticipant::commit(const Uid& txn) {
+  Status s = store_.commit(txn);
+  // Idempotence: a retried commit after the shadow was installed is fine.
+  if (!s.ok() && s.error() == Err::NotFound) co_return ok_status();
+  co_return s;
+}
+
+sim::Task<Status> StoreTxnParticipant::abort(const Uid& txn) { co_return store_.abort(txn); }
+
+void StoreTxnParticipant::nested_commit(const Uid& child, const Uid& parent) {
+  store_.rekey_shadow(child, parent);
+}
+
+void StoreTxnParticipant::nested_abort(const Uid& child) { store_.drop_shadow(child); }
+
+}  // namespace gv::store

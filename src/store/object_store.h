@@ -1,0 +1,156 @@
+// Object Storage service (sec 2.2): a stable-storage repository for
+// persistent object states, one per store node.
+//
+// States are versioned: each top-level action that modifies an object
+// installs version v+1. Writes from commit processing are two-phase —
+// prepare() lands the new state in a stable shadow slot keyed by the
+// action UID; commit() installs it; abort() (or a recovery scan: presumed
+// abort) discards it. Checkpoints and recovery refreshes use the
+// single-phase write_direct().
+//
+// Crash semantics: committed states and shadow slots live on stable
+// storage and survive crashes; on recovery every locally stored object is
+// marked SUSPECT — the store refuses to serve it until the recovery
+// protocol (replication/recovery.h) has verified the state is the latest
+// committed one. This closes the window where a store that crashed
+// between the prepare and commit phases of a 2PC would serve a stale
+// state while still listed in St(A).
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "actions/atomic_action.h"
+#include "rpc/rpc.h"
+#include "sim/node.h"
+#include "util/buffer.h"
+#include "util/result.h"
+#include "util/stats.h"
+#include "util/uid.h"
+
+namespace gv::store {
+
+using sim::NodeId;
+
+struct VersionedState {
+  std::uint64_t version = 0;
+  Buffer state;
+};
+
+// RPC service name exposed by every store node.
+inline constexpr const char* kStoreService = "store";
+
+class ObjectStore {
+ public:
+  ObjectStore(sim::Node& node, rpc::RpcEndpoint& endpoint);
+
+  // ---- local (same-node) API; the RPC methods below wrap these --------
+  Result<VersionedState> read(const Uid& uid) const;
+  Result<std::uint64_t> version(const Uid& uid) const;
+  // `coordinator` identifies the node coordinating `txn`: a shadow that
+  // survives a crash is IN-DOUBT and is resolved by asking that node
+  // (presume abort only if it does not know / is itself gone).
+  Status prepare(const Uid& uid, const Uid& txn, std::uint64_t version, Buffer state,
+                 NodeId coordinator = sim::kNoNode);
+  Status commit(const Uid& txn);
+  Status abort(const Uid& txn);
+  Status write_direct(const Uid& uid, std::uint64_t version, Buffer state);
+  bool contains(const Uid& uid) const;
+  std::vector<Uid> local_objects() const;
+
+  // Nested-action support over shadow slots.
+  bool has_shadow(const Uid& txn) const { return shadows_.count(txn) > 0; }
+  void rekey_shadow(const Uid& child, const Uid& parent);
+  void drop_shadow(const Uid& txn) { shadows_.erase(txn); }
+
+  // Orphan cleanup: a coordinator that died between prepare and commit
+  // leaves a shadow nobody will ever decide. Presume abort for shadows
+  // older than `min_age`; returns the number discarded. start_reaper
+  // arms a periodic sweep (survives node recovery; stop with
+  // stop_reaper; like the janitor it keeps the event queue non-empty).
+  // In-doubt shadows are exempt: their outcome is being resolved.
+  std::size_t reap_orphan_shadows(sim::SimTime min_age);
+  void start_reaper(sim::SimTime period = 500 * sim::kMillisecond,
+                    sim::SimTime min_age = 2 * sim::kSecond);
+  void stop_reaper() noexcept { reaper_running_ = false; }
+
+  // Recovery bookkeeping.
+  std::size_t in_doubt_count() const;
+  bool suspect(const Uid& uid) const { return suspects_.count(uid) > 0; }
+  void clear_suspect(const Uid& uid) { suspects_.erase(uid); }
+  std::vector<Uid> suspect_objects() const;
+
+  Counters& counters() noexcept { return counters_; }
+  NodeId node_id() const noexcept { return node_.id(); }
+
+  // ---- remote client helpers (run on any node) -------------------------
+  // Read the committed state of `uid` from store node `dest`.
+  static sim::Task<Result<VersionedState>> remote_read(rpc::RpcEndpoint& from, NodeId dest,
+                                                       Uid uid);
+  static sim::Task<Result<std::uint64_t>> remote_version(rpc::RpcEndpoint& from, NodeId dest,
+                                                         Uid uid);
+  static sim::Task<Status> remote_prepare(rpc::RpcEndpoint& from, NodeId dest, Uid uid, Uid txn,
+                                          std::uint64_t version, Buffer state,
+                                          NodeId coordinator = sim::kNoNode);
+  static sim::Task<Status> remote_commit(rpc::RpcEndpoint& from, NodeId dest, Uid txn);
+  static sim::Task<Status> remote_abort(rpc::RpcEndpoint& from, NodeId dest, Uid txn);
+  static sim::Task<Status> remote_write_direct(rpc::RpcEndpoint& from, NodeId dest, Uid uid,
+                                               std::uint64_t version, Buffer state);
+
+ private:
+  void register_rpc();
+
+  sim::Node& node_;
+  rpc::RpcEndpoint& endpoint_;
+
+  struct ShadowSet {
+    std::map<Uid, VersionedState> writes;
+    sim::SimTime created_at = 0;
+    NodeId coordinator = sim::kNoNode;
+    bool in_doubt = false;  // survived a crash after voting yes
+  };
+
+  sim::Task<> resolve_in_doubt(std::uint64_t epoch);
+
+  // STABLE storage: survives crashes.
+  std::map<Uid, VersionedState> committed_;
+  // Shadow slots: stable, but discarded by the recovery scan (presumed
+  // abort) or the orphan reaper. txn -> pending writes.
+  std::map<Uid, ShadowSet> shadows_;
+  bool reaper_running_ = false;
+
+  // VOLATILE: rebuilt on recovery.
+  std::unordered_set<Uid> suspects_;
+
+  Counters counters_;
+};
+
+// Adapter enrolling the store in client-coordinated 2PC. Registered in
+// the node's TxnRegistry under kStoreService. Prepare work (the stable
+// shadow write) already happened via remote_prepare during commit
+// processing, so prepare() only confirms this incarnation still holds the
+// shadow — a store that crashed after the copy lost nothing stable, but a
+// recovery in between discarded the shadow (presumed abort) and must
+// vote no.
+class StoreTxnParticipant final : public actions::ServerParticipant {
+ public:
+  explicit StoreTxnParticipant(ObjectStore& store) : store_(store) {}
+
+  sim::Task<bool> prepare(const Uid& txn) override;
+  sim::Task<Status> commit(const Uid& txn) override;
+  sim::Task<Status> abort(const Uid& txn) override;
+  void nested_commit(const Uid& child, const Uid& parent) override;
+  void nested_abort(const Uid& child) override;
+
+  // True if this action staged writes here (read-only actions vote yes
+  // trivially).
+  bool touched(const Uid& txn) const { return store_.has_shadow(txn); }
+
+ private:
+  ObjectStore& store_;
+};
+
+}  // namespace gv::store

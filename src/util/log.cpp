@@ -1,0 +1,29 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace gv {
+
+LogLevel Log::level_ = LogLevel::Off;
+
+void Log::write(LogLevel lvl, std::uint64_t now_us, const char* component, const char* fmt, ...) {
+  if (level_ < lvl) return;
+  const char* tag = "?";
+  switch (lvl) {
+    case LogLevel::Error: tag = "E"; break;
+    case LogLevel::Info: tag = "I"; break;
+    case LogLevel::Debug: tag = "D"; break;
+    case LogLevel::Trace: tag = "T"; break;
+    case LogLevel::Off: return;
+  }
+  std::fprintf(stderr, "[%s %10llu.%03llu %-10s] ", tag,
+               static_cast<unsigned long long>(now_us / 1000),
+               static_cast<unsigned long long>(now_us % 1000), component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace gv

@@ -1,0 +1,35 @@
+// Trace logging keyed to simulated time.
+//
+// Off by default (benchmarks and tests run silent); enable with
+// Log::set_level to watch protocol traces, e.g. every Exclude the commit
+// processor issues. printf-style to keep call sites terse.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace gv {
+
+enum class LogLevel { Off = 0, Error, Info, Debug, Trace };
+
+class Log {
+ public:
+  static void set_level(LogLevel lvl) noexcept { level_ = lvl; }
+  static LogLevel level() noexcept { return level_; }
+
+  // `now_us` is simulated microseconds; callers thread it through so the
+  // logger has no dependency on the simulator.
+  static void write(LogLevel lvl, std::uint64_t now_us, const char* component, const char* fmt,
+                    ...) __attribute__((format(printf, 4, 5)));
+
+ private:
+  static LogLevel level_;
+};
+
+#define GV_LOG(lvl, now, component, ...)                      \
+  do {                                                        \
+    if (::gv::Log::level() >= (lvl))                          \
+      ::gv::Log::write((lvl), (now), (component), __VA_ARGS__); \
+  } while (0)
+
+}  // namespace gv

@@ -1,0 +1,4 @@
+#include "util/rng.h"
+
+// Header-only; this TU exists so the module appears in the build graph and
+// can grow non-inline helpers without touching CMake.

@@ -1,0 +1,78 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the simulation (message latency, crash
+// schedules, workload think times) draws from one of these generators,
+// seeded explicitly, so every experiment is exactly reproducible from its
+// seed. xoshiro256** — fast, high quality, trivially copyable.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace gv {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    auto next = [&seed]() noexcept {
+      seed += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : s_) w = next();
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 yields 0.
+  std::uint64_t uniform(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Lemire's multiply-shift rejection-free-enough method (bias negligible
+    // for the bounds we use, all << 2^32).
+    return static_cast<std::uint64_t>((static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform01() noexcept { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  // Exponential with the given mean (for inter-arrival / latency tails).
+  double exponential(double mean) noexcept {
+    double u = uniform01();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  // Derive an independent child stream (per node, per client, ...).
+  Rng fork() noexcept { return Rng{next_u64()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace gv

@@ -1,0 +1,52 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gv {
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sumsq_ += x * x;
+}
+
+double Summary::mean() const noexcept {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const noexcept {
+  if (samples_.size() < 2) return 0.0;
+  const double n = static_cast<double>(samples_.size());
+  const double var = (sumsq_ - sum_ * sum_ / n) / (n - 1);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Summary::min() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+std::uint64_t Counters::get(const std::string& name) const {
+  auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace gv

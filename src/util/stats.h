@@ -1,0 +1,43 @@
+// Lightweight statistics for experiments: streaming mean/variance plus
+// retained samples for percentiles, and a named-counter registry the
+// benchmark harness prints as result rows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gv {
+
+class Summary {
+ public:
+  void add(double x);
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  double sum() const noexcept { return sum_; }
+  // p in [0,100]; nearest-rank on a sorted copy.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0;
+  double sumsq_ = 0;
+};
+
+// Named monotonically increasing counters, e.g. "bind.stale_attempts".
+class Counters {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) { counts_[name] += by; }
+  std::uint64_t get(const std::string& name) const;
+  void reset() { counts_.clear(); }
+  const std::map<std::string, std::uint64_t>& all() const noexcept { return counts_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace gv

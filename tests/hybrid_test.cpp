@@ -1,0 +1,104 @@
+// Tests for the sec-5 extension: a traditional (non-atomic) name server
+// for Sv combined with the transactional Object State database.
+#include <gtest/gtest.h>
+
+#include "naming/hybrid.h"
+#include "rpc/rpc.h"
+#include "sim/simulator.h"
+
+namespace gv::naming {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim{61};
+  sim::Cluster cluster{sim};
+  sim::Network net{sim, cluster};
+  std::unique_ptr<rpc::RpcFabric> fabric;
+  std::unique_ptr<PlainNameServer> pns;
+  std::unique_ptr<actions::ActionRuntime> rt;
+  Uid obj{200, 1};
+
+  Fixture() {
+    cluster.add_nodes(6);
+    fabric = std::make_unique<rpc::RpcFabric>(cluster, net);
+    pns = std::make_unique<PlainNameServer>(cluster.node(0), fabric->endpoint(0));
+    rt = std::make_unique<actions::ActionRuntime>(fabric->endpoint(1), 0x417);
+    pns->set(obj, {2, 3, 4});
+  }
+
+  template <typename F>
+  void run(F&& body) {
+    sim.spawn(std::forward<F>(body));
+    sim.run();
+  }
+};
+
+TEST(PlainNameServer, GetSetAddRemove) {
+  Fixture f;
+  EXPECT_EQ(f.pns->get(f.obj).value(), (std::vector<NodeId>{2, 3, 4}));
+  f.pns->add(f.obj, 5);
+  f.pns->add(f.obj, 5);  // idempotent
+  EXPECT_EQ(f.pns->get(f.obj).value().size(), 4u);
+  f.pns->remove(f.obj, 3);
+  EXPECT_EQ(f.pns->get(f.obj).value(), (std::vector<NodeId>{2, 4, 5}));
+  EXPECT_EQ(f.pns->get(Uid{9, 9}).error(), Err::NotFound);
+}
+
+TEST(PlainNameServer, UpdatesAreImmediateNoLocks) {
+  // Unlike the Object Server database, a remove takes effect instantly
+  // even while another client is mid-lookup — there is nothing to lock.
+  Fixture f;
+  std::vector<std::size_t> sizes;
+  f.run([](Fixture& f, std::vector<std::size_t>& sizes) -> sim::Task<> {
+    auto r1 = co_await pns_get(f.rt->endpoint(), 0, f.obj);
+    sizes.push_back(r1.value().size());
+    (void)co_await pns_remove(f.rt->endpoint(), 0, f.obj, 2);
+    auto r2 = co_await pns_get(f.rt->endpoint(), 0, f.obj);
+    sizes.push_back(r2.value().size());
+  }(f, sizes));
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 2}));
+}
+
+TEST(PlainNameServer, VolatileAcrossCrash) {
+  Fixture f;
+  f.cluster.node(0).crash();
+  f.cluster.node(0).recover();
+  EXPECT_EQ(f.pns->get(f.obj).error(), Err::NotFound);
+}
+
+TEST(HybridBinder, BindsAndPrunesDeadServers) {
+  Fixture f;
+  f.cluster.node(2).crash();  // stale entry left in the plain server
+  HybridBinder binder{*f.rt, 0};
+  Result<BindResult> got = Err::Timeout;
+  f.run([](Fixture& f, HybridBinder& binder, Result<BindResult>& got) -> sim::Task<> {
+    got = co_await binder.bind(f.obj, 2, [&f](NodeId node) -> sim::Task<ProbeResult> {
+      // Probe = is the node reachable (a real deployment would activate).
+      auto r = co_await f.rt->endpoint().call(node, "sys", "ping", Buffer{});
+      co_return r.ok() ? ProbeResult::Ok : ProbeResult::Dead;
+    });
+  }(f, binder, got));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().servers, (std::vector<NodeId>{3, 4}));
+  EXPECT_EQ(got.value().failed, (std::vector<NodeId>{2}));
+  // The dead server was removed non-atomically: later lookups are clean.
+  EXPECT_EQ(f.pns->get(f.obj).value(), (std::vector<NodeId>{3, 4}));
+}
+
+TEST(HybridBinder, AllDeadYieldsNoReplicas) {
+  Fixture f;
+  for (NodeId n : {2u, 3u, 4u}) f.cluster.node(n).crash();
+  HybridBinder binder{*f.rt, 0};
+  Err got = Err::None;
+  f.run([](Fixture& f, HybridBinder& binder, Err& got) -> sim::Task<> {
+    auto r = co_await binder.bind(f.obj, 1, [&f](NodeId node) -> sim::Task<ProbeResult> {
+      auto p = co_await f.rt->endpoint().call(node, "sys", "ping", Buffer{});
+      co_return p.ok() ? ProbeResult::Ok : ProbeResult::Dead;
+    });
+    got = r.error();
+  }(f, binder, got));
+  EXPECT_EQ(got, Err::NoReplicas);
+}
+
+}  // namespace
+}  // namespace gv::naming

@@ -1,0 +1,241 @@
+// Tests for the lock manager, with emphasis on the paper's sec 4.2.1
+// type-specific concurrency control: the EXCLUDE-WRITE lock that shares
+// with readers where a plain WRITE promotion would be refused.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "actions/lock_manager.h"
+#include "sim/simulator.h"
+
+namespace gv::actions {
+namespace {
+
+using sim::kMillisecond;
+
+struct Fixture {
+  sim::Simulator sim{7};
+  LockManager lm{sim};
+  Uid a{1, 1}, b{1, 2}, c{1, 3};
+
+  // Run an acquire to completion synchronously (no contention expected).
+  Status acquire_now(const std::string& res, LockMode m, const Uid& owner) {
+    Status out = Err::Timeout;
+    sim.spawn([](LockManager& lm, std::string res, LockMode m, Uid owner,
+                 Status& out) -> sim::Task<> {
+      out = co_await lm.acquire(std::move(res), m, owner);
+    }(lm, res, m, owner, out));
+    sim.run();
+    return out;
+  }
+  Status promote_now(const std::string& res, LockMode m, const Uid& owner) {
+    Status out = Err::Timeout;
+    sim.spawn([](LockManager& lm, std::string res, LockMode m, Uid owner,
+                 Status& out) -> sim::Task<> {
+      out = co_await lm.promote(std::move(res), m, owner);
+    }(lm, res, m, owner, out));
+    sim.run();
+    return out;
+  }
+};
+
+// ----------------------------------------------- compatibility (property)
+
+// The full matrix of sec 4.2.1: (held, requested) -> compatible.
+class LockCompatibility
+    : public ::testing::TestWithParam<std::tuple<LockMode, LockMode, bool>> {};
+
+TEST_P(LockCompatibility, MatrixEntry) {
+  auto [held, requested, expected] = GetParam();
+  EXPECT_EQ(compatible(held, requested), expected)
+      << to_string(held) << " vs " << to_string(requested);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, LockCompatibility,
+    ::testing::Values(
+        std::make_tuple(LockMode::Read, LockMode::Read, true),
+        std::make_tuple(LockMode::Read, LockMode::Write, false),
+        std::make_tuple(LockMode::Read, LockMode::ExcludeWrite, true),  // the paper's point
+        std::make_tuple(LockMode::Write, LockMode::Read, false),
+        std::make_tuple(LockMode::Write, LockMode::Write, false),
+        std::make_tuple(LockMode::Write, LockMode::ExcludeWrite, false),
+        std::make_tuple(LockMode::ExcludeWrite, LockMode::Read, true),
+        std::make_tuple(LockMode::ExcludeWrite, LockMode::Write, false),
+        std::make_tuple(LockMode::ExcludeWrite, LockMode::ExcludeWrite, false)));
+
+// ------------------------------------------------------------- behaviour
+
+TEST(LockManager, SharedReaders) {
+  Fixture f;
+  EXPECT_TRUE(f.acquire_now("r", LockMode::Read, f.a).ok());
+  EXPECT_TRUE(f.acquire_now("r", LockMode::Read, f.b).ok());
+  EXPECT_EQ(f.lm.holder_count("r"), 2u);
+}
+
+TEST(LockManager, WriterExcludesReader) {
+  Fixture f;
+  EXPECT_TRUE(f.acquire_now("r", LockMode::Write, f.a).ok());
+  // b waits, then times out.
+  EXPECT_EQ(f.acquire_now("r", LockMode::Read, f.b).error(), Err::LockRefused);
+}
+
+TEST(LockManager, WaiterGrantedOnRelease) {
+  Fixture f;
+  Status got = Err::Timeout;
+  f.sim.spawn([](Fixture& f, Status& got) -> sim::Task<> {
+    (void)co_await f.lm.acquire("r", LockMode::Write, f.a);
+    got = co_await f.lm.acquire("r", LockMode::Write, f.b, 200 * kMillisecond);
+  }(f, got));
+  f.sim.schedule(10 * kMillisecond, [&] { f.lm.release_all(f.a); });
+  f.sim.run();
+  EXPECT_TRUE(got.ok());
+  EXPECT_TRUE(f.lm.holds("r", f.b, LockMode::Write));
+}
+
+TEST(LockManager, FifoFairnessWriterNotStarved) {
+  Fixture f;
+  std::vector<int> grant_order;
+  f.sim.spawn([](Fixture& f, std::vector<int>& order) -> sim::Task<> {
+    (void)co_await f.lm.acquire("r", LockMode::Read, f.a);  // reader holds
+    co_return;
+    (void)order;
+  }(f, grant_order));
+  f.sim.run();
+  // Writer queues first, then another reader: the reader must NOT jump
+  // the queue even though it is compatible with the holder.
+  Status writer = Err::Timeout, reader = Err::Timeout;
+  f.sim.spawn([](Fixture& f, Status& s, std::vector<int>& order) -> sim::Task<> {
+    s = co_await f.lm.acquire("r", LockMode::Write, f.b, 500 * kMillisecond);
+    order.push_back(1);
+  }(f, writer, grant_order));
+  f.sim.spawn([](Fixture& f, Status& s, std::vector<int>& order) -> sim::Task<> {
+    s = co_await f.lm.acquire("r", LockMode::Read, f.c, 500 * kMillisecond);
+    order.push_back(2);
+  }(f, reader, grant_order));
+  f.sim.schedule(10 * kMillisecond, [&] { f.lm.release_all(f.a); });
+  // The writer must release before the queued reader can be granted.
+  f.sim.schedule(50 * kMillisecond, [&] { f.lm.release_all(f.b); });
+  f.sim.run();
+  EXPECT_TRUE(writer.ok());
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(grant_order, (std::vector<int>{1, 2}));
+}
+
+TEST(LockManager, Reentrant) {
+  Fixture f;
+  EXPECT_TRUE(f.acquire_now("r", LockMode::Write, f.a).ok());
+  EXPECT_TRUE(f.acquire_now("r", LockMode::Read, f.a).ok());  // weaker: no-op
+  EXPECT_TRUE(f.acquire_now("r", LockMode::Write, f.a).ok());
+  EXPECT_EQ(f.lm.holder_count("r"), 1u);
+}
+
+// The crux of sec 4.2.1: with the object shared by several readers, a
+// read->WRITE promotion fails but a read->EXCLUDE-WRITE promotion
+// succeeds.
+TEST(LockManager, PromotionToWriteRefusedUnderSharing) {
+  Fixture f;
+  EXPECT_TRUE(f.acquire_now("st.A", LockMode::Read, f.a).ok());
+  EXPECT_TRUE(f.acquire_now("st.A", LockMode::Read, f.b).ok());
+  EXPECT_EQ(f.promote_now("st.A", LockMode::Write, f.a).error(), Err::LockRefused);
+}
+
+TEST(LockManager, PromotionToExcludeWriteSharesWithReaders) {
+  Fixture f;
+  EXPECT_TRUE(f.acquire_now("st.A", LockMode::Read, f.a).ok());
+  EXPECT_TRUE(f.acquire_now("st.A", LockMode::Read, f.b).ok());
+  EXPECT_TRUE(f.promote_now("st.A", LockMode::ExcludeWrite, f.a).ok());
+  EXPECT_TRUE(f.lm.holds("st.A", f.a, LockMode::ExcludeWrite));
+  // The other reader is untouched.
+  EXPECT_TRUE(f.lm.holds("st.A", f.b, LockMode::Read));
+  // But a second committer cannot also hold exclude-write.
+  EXPECT_EQ(f.promote_now("st.A", LockMode::ExcludeWrite, f.b).error(), Err::LockRefused);
+}
+
+TEST(LockManager, ExcludeWriteBlocksPlainWrite) {
+  Fixture f;
+  EXPECT_TRUE(f.acquire_now("r", LockMode::ExcludeWrite, f.a).ok());
+  EXPECT_EQ(f.acquire_now("r", LockMode::Write, f.b).error(), Err::LockRefused);
+  // New readers may still join.
+  EXPECT_TRUE(f.acquire_now("r", LockMode::Read, f.c).ok());
+}
+
+TEST(LockManager, PromotionWaitsForReaderToLeave) {
+  Fixture f;
+  Status promo = Err::Timeout;
+  f.sim.spawn([](Fixture& f, Status& promo) -> sim::Task<> {
+    (void)co_await f.lm.acquire("r", LockMode::Read, f.a);
+    (void)co_await f.lm.acquire("r", LockMode::Read, f.b);
+    promo = co_await f.lm.promote("r", LockMode::Write, f.a, 300 * kMillisecond);
+  }(f, promo));
+  f.sim.schedule(20 * kMillisecond, [&] { f.lm.release_all(f.b); });
+  f.sim.run();
+  EXPECT_TRUE(promo.ok());
+  EXPECT_TRUE(f.lm.holds("r", f.a, LockMode::Write));
+}
+
+TEST(LockManager, TransferToParentMergesModes) {
+  Fixture f;
+  Uid parent{9, 1}, child{9, 2};
+  EXPECT_TRUE(f.acquire_now("x", LockMode::Read, parent).ok());
+  EXPECT_TRUE(f.acquire_now("y", LockMode::Write, child).ok());
+  // Child also promoted x beyond the parent's mode.
+  EXPECT_TRUE(f.acquire_now("z", LockMode::ExcludeWrite, child).ok());
+  f.lm.transfer(child, parent);
+  EXPECT_TRUE(f.lm.holds("y", parent, LockMode::Write));
+  EXPECT_TRUE(f.lm.holds("z", parent, LockMode::ExcludeWrite));
+  EXPECT_FALSE(f.lm.holds("y", child, LockMode::Read));
+  EXPECT_EQ(f.lm.holder_count("x"), 1u);
+}
+
+TEST(LockManager, ReleaseAllWakesWaitersAcrossResources) {
+  Fixture f;
+  Status s1 = Err::Timeout, s2 = Err::Timeout;
+  f.sim.spawn([](Fixture& f, Status& s1, Status& s2) -> sim::Task<> {
+    (void)co_await f.lm.acquire("p", LockMode::Write, f.a);
+    (void)co_await f.lm.acquire("q", LockMode::Write, f.a);
+    co_await f.sim.sleep(0);
+    s1 = co_await f.lm.acquire("p", LockMode::Write, f.b, 300 * kMillisecond);
+    co_return;
+    (void)s2;
+  }(f, s1, s2));
+  f.sim.spawn([](Fixture& f, Status& s2) -> sim::Task<> {
+    co_await f.sim.sleep(1 * kMillisecond);
+    s2 = co_await f.lm.acquire("q", LockMode::Write, f.c, 300 * kMillisecond);
+  }(f, s2));
+  f.sim.schedule(10 * kMillisecond, [&] { f.lm.release_all(f.a); });
+  f.sim.run();
+  EXPECT_TRUE(s1.ok());
+  EXPECT_TRUE(s2.ok());
+}
+
+TEST(LockManager, TimeoutResolvesDeadlock) {
+  // Classic AB-BA deadlock: both time out eventually (no hang).
+  Fixture f;
+  Status sa = Err::None, sb = Err::None;
+  f.sim.spawn([](Fixture& f, Status& sa) -> sim::Task<> {
+    (void)co_await f.lm.acquire("x", LockMode::Write, f.a);
+    co_await f.sim.sleep(1 * kMillisecond);
+    sa = co_await f.lm.acquire("y", LockMode::Write, f.a, 50 * kMillisecond);
+  }(f, sa));
+  f.sim.spawn([](Fixture& f, Status& sb) -> sim::Task<> {
+    (void)co_await f.lm.acquire("y", LockMode::Write, f.b);
+    co_await f.sim.sleep(1 * kMillisecond);
+    sb = co_await f.lm.acquire("x", LockMode::Write, f.b, 50 * kMillisecond);
+  }(f, sb));
+  f.sim.run();
+  // At least one must have been refused; with equal timeouts, both are.
+  EXPECT_EQ(sa.error(), Err::LockRefused);
+  EXPECT_EQ(sb.error(), Err::LockRefused);
+}
+
+TEST(LockManager, HoldsChecksStrength) {
+  Fixture f;
+  EXPECT_TRUE(f.acquire_now("r", LockMode::ExcludeWrite, f.a).ok());
+  EXPECT_TRUE(f.lm.holds("r", f.a, LockMode::Read));          // EW >= Read
+  EXPECT_TRUE(f.lm.holds("r", f.a, LockMode::ExcludeWrite));
+  EXPECT_FALSE(f.lm.holds("r", f.a, LockMode::Write));        // EW < Write
+}
+
+}  // namespace
+}  // namespace gv::actions

@@ -1,0 +1,596 @@
+// Tests for the naming-and-binding service: the Object Server database
+// (Sv, use lists, quiescence), the Object State database (St, Exclude/
+// Include under both locking policies), transactional semantics of both,
+// persistence across naming-node crashes, and the use-list janitor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "actions/atomic_action.h"
+#include "naming/group_view_db.h"
+#include "naming/janitor.h"
+#include "rpc/rpc.h"
+#include "sim/simulator.h"
+
+namespace gv::naming {
+namespace {
+
+using actions::AtomicAction;
+using actions::ActionRuntime;
+
+// Cluster layout: node 0 = naming node, 1..N-1 free for clients/servers.
+struct Fixture {
+  sim::Simulator sim{31};
+  sim::Cluster cluster{sim};
+  sim::Network net{sim, cluster};
+  std::unique_ptr<rpc::RpcFabric> fabric;
+  std::unique_ptr<actions::TxnRegistry> naming_txns;
+  std::unique_ptr<store::ObjectStore> naming_store;
+  std::unique_ptr<GroupViewDb> gvdb;
+  std::unique_ptr<ActionRuntime> rt;  // a client runtime on node 1
+
+  Uid obj{100, 1};
+
+  explicit Fixture(std::size_t nodes = 6, ExcludePolicy policy = ExcludePolicy::ExcludeWriteLock) {
+    cluster.add_nodes(nodes);
+    fabric = std::make_unique<rpc::RpcFabric>(cluster, net);
+    naming_txns = std::make_unique<actions::TxnRegistry>(fabric->endpoint(0));
+    naming_store = std::make_unique<store::ObjectStore>(cluster.node(0), fabric->endpoint(0));
+    gvdb = std::make_unique<GroupViewDb>(cluster.node(0), *naming_store, fabric->endpoint(0),
+                                         *naming_txns, NamingConfig{}, policy);
+    rt = std::make_unique<ActionRuntime>(fabric->endpoint(1), 0xC11);
+    gvdb->create_object(obj, {2, 3, 4}, {2, 3, 4});
+  }
+
+  // Run a coroutine to completion.
+  template <typename F>
+  void run(F&& body) {
+    sim.spawn(std::forward<F>(body));
+    sim.run();
+  }
+};
+
+// ------------------------------------------------------ ObjectServerDb
+
+TEST(ObjectServerDb, GetServerReturnsSvUnderReadLock) {
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    auto v = co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, act.uid());
+    EXPECT_TRUE(v.ok());
+    if (v.ok()) {
+      EXPECT_EQ(v.value().sv, (std::vector<NodeId>{2, 3, 4}));
+      EXPECT_TRUE(v.value().quiescent());
+    }
+    // The entry is read-locked by this action until it ends.
+    EXPECT_TRUE(f.gvdb->servers().locks().holds("sv:" + f.obj.to_string(), act.uid(),
+                                                actions::LockMode::Read));
+    act.enlist({0, kOsdbService});
+    (void)co_await act.commit();
+    EXPECT_EQ(f.gvdb->servers().locks().holder_count("sv:" + f.obj.to_string()), 0u);
+  }(f));
+}
+
+TEST(ObjectServerDb, UnknownObjectIsNotFound) {
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    auto v = co_await osdb_get_server(f.rt->endpoint(), 0, Uid{9, 9}, act.uid());
+    EXPECT_EQ(v.error(), Err::NotFound);
+    (void)co_await act.abort();
+  }(f));
+}
+
+TEST(ObjectServerDb, ConcurrentReadersShareTheEntry) {
+  Fixture f;
+  int ok_count = 0;
+  for (int i = 0; i < 3; ++i) {
+    f.sim.spawn([](Fixture& f, int& ok_count) -> sim::Task<> {
+      AtomicAction act{*f.rt};
+      auto v = co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, act.uid());
+      if (v.ok()) ++ok_count;
+      act.enlist({0, kOsdbService});
+      (void)co_await act.commit();
+    }(f, ok_count));
+  }
+  f.sim.run();
+  EXPECT_EQ(ok_count, 3);
+}
+
+TEST(ObjectServerDb, RemoveCommitUpdatesSv) {
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    EXPECT_TRUE((co_await osdb_remove(f.rt->endpoint(), 0, f.obj, 3, act.uid())).ok());
+    act.enlist({0, kOsdbService});
+    EXPECT_TRUE((co_await act.commit()).ok());
+    // A later reader sees the shrunk Sv.
+    AtomicAction act2{*f.rt};
+    auto v = co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, act2.uid());
+    EXPECT_TRUE(v.ok());
+    if (v.ok()) {
+      EXPECT_EQ(v.value().sv, (std::vector<NodeId>{2, 4}));
+    }
+    act2.enlist({0, kOsdbService});
+    (void)co_await act2.commit();
+  }(f));
+}
+
+TEST(ObjectServerDb, AbortRollsBackRemoveAndInsert) {
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    EXPECT_TRUE((co_await osdb_remove(f.rt->endpoint(), 0, f.obj, 3, act.uid())).ok());
+    EXPECT_TRUE((co_await osdb_insert(f.rt->endpoint(), 0, f.obj, 5, act.uid())).ok());
+    act.enlist({0, kOsdbService});
+    (void)co_await act.abort();
+
+    AtomicAction act2{*f.rt};
+    auto v = co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, act2.uid());
+    EXPECT_TRUE(v.ok());
+    if (v.ok()) {
+      EXPECT_EQ(v.value().sv, (std::vector<NodeId>{2, 3, 4}));
+    }
+    act2.enlist({0, kOsdbService});
+    (void)co_await act2.commit();
+  }(f));
+}
+
+TEST(ObjectServerDb, WriteLockBlocksWhileReaderHolds) {
+  // S1's core property: while a client's action holds the read lock, a
+  // Remove (write) from another action is refused.
+  Fixture f;
+  Err remove_err = Err::None;
+  f.run([](Fixture& f, Err& remove_err) -> sim::Task<> {
+    AtomicAction reader{*f.rt};
+    (void)co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, reader.uid());
+    reader.enlist({0, kOsdbService});
+
+    AtomicAction writer{*f.rt};
+    Status s = co_await osdb_remove(f.rt->endpoint(), 0, f.obj, 3, writer.uid());
+    remove_err = s.error();
+    (void)co_await writer.abort();
+    (void)co_await reader.commit();
+  }(f, remove_err));
+  EXPECT_EQ(remove_err, Err::LockRefused);
+}
+
+TEST(ObjectServerDb, IncrementDecrementMaintainUseLists) {
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction a1{*f.rt};
+    std::vector<NodeId> both{2, 3};
+    EXPECT_TRUE((co_await osdb_increment(f.rt->endpoint(), 0, f.obj, 1, both, a1.uid())).ok());
+    a1.enlist({0, kOsdbService});
+    EXPECT_TRUE((co_await a1.commit()).ok());
+
+    AtomicAction a2{*f.rt};
+    auto v = co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, a2.uid());
+    EXPECT_TRUE(v.ok());
+    if (v.ok()) {
+      EXPECT_FALSE(v.value().quiescent());
+      EXPECT_TRUE(v.value().in_use(2));
+      EXPECT_TRUE(v.value().in_use(3));
+      EXPECT_FALSE(v.value().in_use(4));
+    }
+    a2.enlist({0, kOsdbService});
+    (void)co_await a2.commit();
+
+    AtomicAction a3{*f.rt};
+    EXPECT_TRUE((co_await osdb_decrement(f.rt->endpoint(), 0, f.obj, 1, both, a3.uid())).ok());
+    a3.enlist({0, kOsdbService});
+    EXPECT_TRUE((co_await a3.commit()).ok());
+
+    AtomicAction a4{*f.rt};
+    auto v2 = co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, a4.uid());
+    EXPECT_TRUE(v2.ok());
+    if (v2.ok()) {
+      EXPECT_TRUE(v2.value().quiescent());
+    }
+    a4.enlist({0, kOsdbService});
+    (void)co_await a4.commit();
+  }(f));
+}
+
+TEST(ObjectServerDb, InsertRefusedWhileObjectInUse) {
+  // Sec 4.1.2: a recovered server node runs Insert as a quiescence check;
+  // it must fail while any client is using the object.
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction user{*f.rt};
+    std::vector<NodeId> two{2};
+    EXPECT_TRUE((co_await osdb_increment(f.rt->endpoint(), 0, f.obj, 1, two, user.uid())).ok());
+    user.enlist({0, kOsdbService});
+    EXPECT_TRUE((co_await user.commit()).ok());
+
+    AtomicAction recoverer{*f.rt};
+    Status s = co_await osdb_insert(f.rt->endpoint(), 0, f.obj, 3, recoverer.uid());
+    EXPECT_EQ(s.error(), Err::NotQuiescent);
+    // Even a refused operation leaves the entry write-locked by this
+    // action; the abort must reach the database to release it.
+    recoverer.enlist({0, kOsdbService});
+    (void)co_await recoverer.abort();
+
+    // After the user departs, Insert succeeds (as a no-op membership check).
+    AtomicAction bye{*f.rt};
+    (void)co_await osdb_decrement(f.rt->endpoint(), 0, f.obj, 1, two, bye.uid());
+    bye.enlist({0, kOsdbService});
+    (void)co_await bye.commit();
+
+    AtomicAction retry{*f.rt};
+    EXPECT_TRUE((co_await osdb_insert(f.rt->endpoint(), 0, f.obj, 3, retry.uid())).ok());
+    retry.enlist({0, kOsdbService});
+    EXPECT_TRUE((co_await retry.commit()).ok());
+  }(f));
+}
+
+TEST(ObjectServerDb, NestedActionInheritsLockToParent) {
+  // S1's mechanism: GetServer in a nested action; after nested commit the
+  // parent holds the read lock.
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction top{*f.rt};
+    {
+      AtomicAction nested{*f.rt, &top};
+      (void)co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, nested.uid());
+      nested.enlist({0, kOsdbService});
+      EXPECT_TRUE((co_await nested.commit()).ok());
+    }
+    const std::string lock = "sv:" + f.obj.to_string();
+    EXPECT_TRUE(f.gvdb->servers().locks().holds(lock, top.uid(), actions::LockMode::Read));
+    (void)co_await top.commit();
+    EXPECT_EQ(f.gvdb->servers().locks().holder_count(lock), 0u);
+  }(f));
+}
+
+TEST(ObjectServerDb, PersistsAcrossNamingNodeCrash) {
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    std::vector<NodeId> two{2};
+    (void)co_await osdb_remove(f.rt->endpoint(), 0, f.obj, 4, act.uid());
+    (void)co_await osdb_increment(f.rt->endpoint(), 0, f.obj, 1, two, act.uid());
+    act.enlist({0, kOsdbService});
+    EXPECT_TRUE((co_await act.commit()).ok());
+  }(f));
+
+  f.cluster.node(0).crash();
+  f.cluster.node(0).recover();
+
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    auto v = co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, act.uid());
+    EXPECT_TRUE(v.ok());
+    if (v.ok()) {
+      EXPECT_EQ(v.value().sv, (std::vector<NodeId>{2, 3}));
+      EXPECT_TRUE(v.value().in_use(2));  // committed use count survived
+    }
+    act.enlist({0, kOsdbService});
+    (void)co_await act.commit();
+  }(f));
+}
+
+TEST(ObjectServerDb, UncommittedChangesLostOnNamingNodeCrash) {
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    (void)co_await osdb_remove(f.rt->endpoint(), 0, f.obj, 4, act.uid());
+    // No commit: crash wipes the volatile applied-but-uncommitted edit.
+  }(f));
+  f.cluster.node(0).crash();
+  f.cluster.node(0).recover();
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    auto v = co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, act.uid());
+    EXPECT_TRUE(v.ok());
+    if (v.ok()) {
+      EXPECT_EQ(v.value().sv.size(), 3u);
+    }
+    act.enlist({0, kOsdbService});
+    (void)co_await act.commit();
+  }(f));
+}
+
+// ------------------------------------------------------- ObjectStateDb
+
+TEST(ObjectStateDb, GetViewExcludeInclude) {
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    auto st = co_await ostdb_get_view(f.rt->endpoint(), 0, f.obj, act.uid());
+    EXPECT_TRUE(st.ok());
+    if (st.ok()) {
+      EXPECT_EQ(st.value(), (std::vector<NodeId>{2, 3, 4}));
+    }
+
+    std::vector<ExcludeItem> drop3{{f.obj, {3}}};
+    EXPECT_TRUE((co_await ostdb_exclude(f.rt->endpoint(), 0, drop3, act.uid())).ok());
+    act.enlist({0, kOstdbService});
+    EXPECT_TRUE((co_await act.commit()).ok());
+
+    EXPECT_EQ(f.gvdb->states().peek(f.obj), (std::vector<NodeId>{2, 4}));
+
+    AtomicAction act2{*f.rt};
+    EXPECT_TRUE((co_await ostdb_include(f.rt->endpoint(), 0, f.obj, 3, act2.uid())).ok());
+    act2.enlist({0, kOstdbService});
+    EXPECT_TRUE((co_await act2.commit()).ok());
+    EXPECT_EQ(f.gvdb->states().peek(f.obj).size(), 3u);
+  }(f));
+}
+
+TEST(ObjectStateDb, ExcludeBatchSpansObjects) {
+  Fixture f;
+  Uid obj2{100, 2};
+  f.gvdb->create_object(obj2, {2, 3}, {2, 3});
+  f.run([](Fixture& f, Uid obj2) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    std::vector<ExcludeItem> items{{f.obj, {2, 3}}, {obj2, {3}}};
+    EXPECT_TRUE((co_await ostdb_exclude(f.rt->endpoint(), 0, items, act.uid())).ok());
+    act.enlist({0, kOstdbService});
+    EXPECT_TRUE((co_await act.commit()).ok());
+  }(f, obj2));
+  EXPECT_EQ(f.gvdb->states().peek(f.obj), (std::vector<NodeId>{4}));
+  EXPECT_EQ(f.gvdb->states().peek(obj2), (std::vector<NodeId>{2}));
+}
+
+TEST(ObjectStateDb, ExcludeRolledBackOnAbort) {
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    std::vector<ExcludeItem> items{{f.obj, {2, 3}}};
+    (void)co_await ostdb_exclude(f.rt->endpoint(), 0, items, act.uid());
+    act.enlist({0, kOstdbService});
+    (void)co_await act.abort();
+  }(f));
+  auto st = f.gvdb->states().peek(f.obj);
+  std::sort(st.begin(), st.end());
+  EXPECT_EQ(st, (std::vector<NodeId>{2, 3, 4}));
+}
+
+// The centrepiece of sec 4.2.1: Exclude while OTHER clients hold read
+// locks. With the exclude-write lock it succeeds; with plain write
+// promotion it is refused.
+TEST(ObjectStateDb, ExcludeSharesWithReadersUnderExcludeWritePolicy) {
+  Fixture f{6, ExcludePolicy::ExcludeWriteLock};
+  Err got = Err::Timeout;
+  f.run([](Fixture& f, Err& got) -> sim::Task<> {
+    // Reader holds the entry (simulating another client mid-action).
+    AtomicAction reader{*f.rt};
+    (void)co_await ostdb_get_view(f.rt->endpoint(), 0, f.obj, reader.uid());
+    reader.enlist({0, kOstdbService});
+
+    // Committing client: GetView (read) then Exclude (promotion).
+    AtomicAction committer{*f.rt};
+    (void)co_await ostdb_get_view(f.rt->endpoint(), 0, f.obj, committer.uid());
+    std::vector<ExcludeItem> drop4{{f.obj, {4}}};
+    Status s = co_await ostdb_exclude(f.rt->endpoint(), 0, drop4, committer.uid());
+    got = s.ok() ? Err::None : s.error();
+    committer.enlist({0, kOstdbService});
+    (void)co_await committer.commit();
+    (void)co_await reader.commit();
+  }(f, got));
+  EXPECT_EQ(got, Err::None);
+  EXPECT_EQ(f.gvdb->states().peek(f.obj), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(ObjectStateDb, ExcludeRefusedUnderPlainWritePolicy) {
+  Fixture f{6, ExcludePolicy::PromoteToWrite};
+  Err got = Err::None;
+  f.run([](Fixture& f, Err& got) -> sim::Task<> {
+    AtomicAction reader{*f.rt};
+    (void)co_await ostdb_get_view(f.rt->endpoint(), 0, f.obj, reader.uid());
+    reader.enlist({0, kOstdbService});
+
+    AtomicAction committer{*f.rt};
+    (void)co_await ostdb_get_view(f.rt->endpoint(), 0, f.obj, committer.uid());
+    std::vector<ExcludeItem> drop4{{f.obj, {4}}};
+    Status s = co_await ostdb_exclude(f.rt->endpoint(), 0, drop4, committer.uid());
+    got = s.ok() ? Err::None : s.error();
+    (void)co_await committer.abort();  // the paper: the action must abort
+    (void)co_await reader.commit();
+  }(f, got));
+  EXPECT_EQ(got, Err::LockRefused);
+  EXPECT_EQ(f.gvdb->states().peek(f.obj).size(), 3u);
+}
+
+TEST(ObjectStateDb, TwoConcurrentExcludersConflictEvenWithEwLock) {
+  Fixture f;
+  Err second = Err::None;
+  f.run([](Fixture& f, Err& second) -> sim::Task<> {
+    AtomicAction c1{*f.rt};
+    std::vector<ExcludeItem> drop2{{f.obj, {2}}};
+    EXPECT_TRUE((co_await ostdb_exclude(f.rt->endpoint(), 0, drop2, c1.uid())).ok());
+    c1.enlist({0, kOstdbService});
+
+    AtomicAction c2{*f.rt};
+    std::vector<ExcludeItem> drop3{{f.obj, {3}}};
+    Status s = co_await ostdb_exclude(f.rt->endpoint(), 0, drop3, c2.uid());
+    second = s.ok() ? Err::None : s.error();
+    (void)co_await c2.abort();
+    (void)co_await c1.commit();
+  }(f, second));
+  EXPECT_EQ(second, Err::LockRefused);
+}
+
+// ----------------------------------------------------------- Janitor
+
+TEST(UseListJanitor, PurgesCrashedClientsEntries) {
+  Fixture f;
+  UseListJanitor janitor{f.gvdb->servers(), f.fabric->endpoint(0)};
+  // Client on node 1 binds, then crashes without decrementing.
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    std::vector<NodeId> both{2, 3};
+    (void)co_await osdb_increment(f.rt->endpoint(), 0, f.obj, 1, both, act.uid());
+    act.enlist({0, kOsdbService});
+    (void)co_await act.commit();
+  }(f));
+  f.cluster.node(1).crash();
+
+  std::uint32_t purged = 0;
+  f.run([](UseListJanitor& j, std::uint32_t& purged) -> sim::Task<> {
+    purged = co_await j.sweep();
+  }(janitor, purged));
+  EXPECT_EQ(purged, 2u);
+  EXPECT_TRUE(f.gvdb->servers().clients_in_use().empty());
+}
+
+TEST(UseListJanitor, LeavesLiveClientsAlone) {
+  Fixture f;
+  UseListJanitor janitor{f.gvdb->servers(), f.fabric->endpoint(0)};
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    std::vector<NodeId> two{2};
+    (void)co_await osdb_increment(f.rt->endpoint(), 0, f.obj, 1, two, act.uid());
+    act.enlist({0, kOsdbService});
+    (void)co_await act.commit();
+  }(f));
+
+  std::uint32_t purged = 99;
+  f.run([](UseListJanitor& j, std::uint32_t& purged) -> sim::Task<> {
+    purged = co_await j.sweep();
+  }(janitor, purged));
+  EXPECT_EQ(purged, 0u);
+  EXPECT_EQ(f.gvdb->servers().clients_in_use(), (std::vector<NodeId>{1}));
+}
+
+TEST(UseListJanitor, PeriodicSweepRunsAutomatically) {
+  Fixture f;
+  UseListJanitor janitor{f.gvdb->servers(), f.fabric->endpoint(0), 50 * sim::kMillisecond};
+  janitor.start();
+  // The janitor loop keeps the queue non-empty: drive with run_until.
+  f.sim.spawn([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    std::vector<NodeId> two{2};
+    (void)co_await osdb_increment(f.rt->endpoint(), 0, f.obj, 1, two, act.uid());
+    act.enlist({0, kOsdbService});
+    (void)co_await act.commit();
+    f.cluster.node(1).crash();
+  }(f));
+  f.sim.run_until(500 * sim::kMillisecond);
+  janitor.stop();
+  f.sim.run();
+  EXPECT_TRUE(f.gvdb->servers().clients_in_use().empty());
+  EXPECT_GE(janitor.counters().get("janitor.purged"), 1u);
+}
+
+// --------------------------------------------------- orphan cleanup
+
+TEST(OrphanCleanup, DeadClientsActionAbortedOnSweep) {
+  // A client takes a write lock (Remove) and crashes before finishing;
+  // the orphan sweep rolls the mutation back and frees the entry.
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    (void)co_await osdb_remove(f.rt->endpoint(), 0, f.obj, 3, act.uid());
+    // No commit: the client node dies.
+  }(f));
+  f.cluster.node(1).crash();
+
+  std::uint32_t swept = 0;
+  f.sim.spawn([](Fixture& f, std::uint32_t& swept) -> sim::Task<> {
+    swept = co_await f.gvdb->servers().sweep_orphans();
+  }(f, swept));
+  f.sim.run();
+  EXPECT_EQ(swept, 1u);
+  EXPECT_EQ(f.gvdb->servers().counters().get("db.orphan_owner_dead"), 1u);
+
+  // The Remove was rolled back and the lock released: a new client can
+  // read and write the entry again.
+  f.cluster.node(1).recover();
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    auto v = co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, act.uid());
+    EXPECT_TRUE(v.ok());
+    if (v.ok()) {
+      EXPECT_EQ(v.value().sv.size(), 3u);
+    }
+    act.enlist({0, kOsdbService});
+    (void)co_await act.commit();
+  }(f));
+}
+
+TEST(OrphanCleanup, LiveClientsActionLeftAlone) {
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    (void)co_await osdb_get_server(f.rt->endpoint(), 0, f.obj, act.uid());
+    std::uint32_t swept = co_await f.gvdb->servers().sweep_orphans();
+    EXPECT_EQ(swept, 0u);  // owner (node 1) is alive and the action fresh
+    act.enlist({0, kOsdbService});
+    (void)co_await act.commit();
+  }(f));
+}
+
+TEST(OrphanCleanup, AgedActionPresumedDeadEvenIfNodeAnswers) {
+  // The owner node recovered into a new incarnation: it answers pings,
+  // but the old action will never finish. Age-based presumed abort.
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    std::vector<ExcludeItem> drop4{{f.obj, {4}}};
+    (void)co_await ostdb_exclude(f.rt->endpoint(), 0, drop4, act.uid());
+  }(f));
+  f.cluster.node(1).crash();
+  f.cluster.node(1).recover();  // answers pings again, new epoch
+
+  f.sim.run_until(f.sim.now() + 5 * sim::kSecond);  // beyond orphan_action_age
+  std::uint32_t swept = 0;
+  f.sim.spawn([](Fixture& f, std::uint32_t& swept) -> sim::Task<> {
+    swept = co_await f.gvdb->states().sweep_orphans();
+  }(f, swept));
+  f.sim.run();
+  EXPECT_EQ(swept, 1u);
+  EXPECT_EQ(f.gvdb->states().counters().get("db.orphan_aged_out"), 1u);
+  EXPECT_EQ(f.gvdb->states().peek(f.obj).size(), 3u);  // exclude rolled back
+}
+
+TEST(OrphanCleanup, LockConflictTriggersSweepAutomatically) {
+  // The event-driven path: a second client's refused lock wait triggers
+  // the sweep; its NEXT attempt succeeds without manual intervention.
+  Fixture f;
+  f.run([](Fixture& f) -> sim::Task<> {
+    AtomicAction act{*f.rt};
+    (void)co_await osdb_remove(f.rt->endpoint(), 0, f.obj, 3, act.uid());
+  }(f));
+  f.cluster.node(1).crash();
+  f.cluster.node(1).recover();
+
+  Err first = Err::None;
+  Status second = Err::Timeout;
+  f.run([](Fixture& f, Err& first, Status& second) -> sim::Task<> {
+    AtomicAction a1{*f.rt};
+    Status s1 = co_await osdb_remove(f.rt->endpoint(), 0, f.obj, 4, a1.uid());
+    first = s1.ok() ? Err::None : s1.error();
+    a1.enlist({0, kOsdbService});
+    (void)co_await a1.abort();
+    // Give the triggered sweep time to ping the (alive) owner and apply
+    // the age policy... the owner answers, so this relies on the sweep
+    // finding the owner's node epoch-dead? No: node recovered. The
+    // conflict-triggered sweep pings node 1: alive, action young ->
+    // nothing reaped yet. Wait out the age and retry: now the sweep
+    // (triggered by the new conflict) reaps it and the retry wins.
+    co_await f.sim.sleep(4 * sim::kSecond);
+    AtomicAction a2{*f.rt};
+    Status s2 = co_await osdb_remove(f.rt->endpoint(), 0, f.obj, 4, a2.uid());
+    if (!s2.ok()) {
+      // First post-age attempt may race the sweep; one retry settles it.
+      a2.enlist({0, kOsdbService});
+      (void)co_await a2.abort();
+      co_await f.sim.sleep(100 * sim::kMillisecond);
+      AtomicAction a3{*f.rt};
+      second = co_await osdb_remove(f.rt->endpoint(), 0, f.obj, 4, a3.uid());
+      a3.enlist({0, kOsdbService});
+      (void)co_await a3.commit();
+    } else {
+      second = s2;
+      a2.enlist({0, kOsdbService});
+      (void)co_await a2.commit();
+    }
+  }(f, first, second));
+  EXPECT_EQ(first, Err::LockRefused);  // orphan still held the lock
+  EXPECT_TRUE(second.ok());            // cleaned up by the triggered sweep
+}
+
+}  // namespace
+}  // namespace gv::naming

@@ -1,0 +1,375 @@
+// Tests for the replication layer: object server hosts (activation,
+// invocation, before-images), the stock state machines, the activator's
+// four Sv/St regimes, commit processing with store exclusion, cohort
+// checkpoints, and the recovery daemon.
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace gv::replication {
+namespace {
+
+using core::ReplicaSystem;
+using core::SystemConfig;
+using actions::LockMode;
+
+Buffer i64_buf(std::int64_t v) {
+  Buffer b;
+  b.pack_i64(v);
+  return b;
+}
+
+// ----------------------------------------------------- state machines
+
+TEST(StateMachines, BankAccountOps) {
+  BankAccount a;
+  bool modified = false;
+  auto r = a.apply("deposit", i64_buf(100), modified);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(modified);
+  EXPECT_EQ(a.balance(), 100);
+  r = a.apply("withdraw", i64_buf(30), modified);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(a.balance(), 70);
+  // Overdraft refused, state unchanged.
+  r = a.apply("withdraw", i64_buf(1000), modified);
+  EXPECT_EQ(r.error(), Err::Conflict);
+  EXPECT_EQ(a.balance(), 70);
+  r = a.apply("balance", Buffer{}, modified);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(modified);
+  EXPECT_EQ(r.value().unpack_i64().value(), 70);
+}
+
+TEST(StateMachines, SnapshotRestoreRoundTrip) {
+  BankAccount a;
+  bool modified;
+  (void)a.apply("deposit", i64_buf(42), modified);
+  BankAccount b;
+  EXPECT_TRUE(b.restore(a.snapshot()).ok());
+  EXPECT_EQ(b.balance(), 42);
+
+  EventLog l1;
+  (void)l1.apply("append", [] { Buffer b; b.pack_string("x"); return b; }(), modified);
+  (void)l1.apply("append", [] { Buffer b; b.pack_string("y"); return b; }(), modified);
+  EventLog l2;
+  EXPECT_TRUE(l2.restore(l1.snapshot()).ok());
+  EXPECT_EQ(l1.checksum(), l2.checksum());
+}
+
+TEST(StateMachines, EventLogChecksumIsOrderSensitive) {
+  EventLog a, b;
+  bool modified;
+  Buffer x;
+  x.pack_string("x");
+  Buffer y;
+  y.pack_string("y");
+  (void)a.apply("append", x, modified);
+  (void)a.apply("append", y, modified);
+  x.rewind();
+  y.rewind();
+  Buffer x2;
+  x2.pack_string("x");
+  Buffer y2;
+  y2.pack_string("y");
+  (void)b.apply("append", y2, modified);
+  (void)b.apply("append", x2, modified);
+  EXPECT_NE(a.checksum(), b.checksum());
+}
+
+TEST(StateMachines, UnknownClassNotConstructible) {
+  ClassRegistry reg;
+  register_stock_classes(reg);
+  EXPECT_TRUE(reg.knows("bank"));
+  EXPECT_FALSE(reg.knows("nonesuch"));
+  EXPECT_EQ(reg.make("nonesuch"), nullptr);
+}
+
+// ------------------------------------------------ end-to-end via system
+
+struct Sys {
+  ReplicaSystem sys;
+  explicit Sys(SystemConfig cfg = {}) : sys(cfg) {}
+
+  template <typename F>
+  void run(F&& body) {
+    sys.sim().spawn(std::forward<F>(body));
+    sys.sim().run();
+  }
+};
+
+// |Sv|=|St|=1: the non-replicated regime of fig 2.
+TEST(Replication, Fig2UnreplicatedObjectWorks) {
+  Sys s;
+  Uid obj = s.sys.define_object("acct", "bank", BankAccount{}.snapshot(), {2}, {2},
+                                ReplicationPolicy::SingleCopyPassive, 1);
+  auto* client = s.sys.client(1);
+  bool committed = false;
+  s.run([](ReplicaSystem& sys, core::ClientSession* client, Uid obj,
+           bool& committed) -> sim::Task<> {
+    auto txn = client->begin();
+    auto r = co_await txn->invoke(obj, "deposit", i64_buf(10), LockMode::Write);
+    EXPECT_TRUE(r.ok());
+    committed = (co_await txn->commit()).ok();
+    (void)sys;
+  }(s.sys, client, obj, committed));
+  EXPECT_TRUE(committed);
+  // The committed state reached the store (version 2 after the initial 1).
+  auto stored = s.sys.store_at(2).read(obj);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored.value().version, 2u);
+  BankAccount check;
+  (void)check.restore(std::move(stored.value().state));
+  EXPECT_EQ(check.balance(), 10);
+}
+
+TEST(Replication, Fig2CrashOfOnlyServerAbortsAction) {
+  Sys s;
+  Uid obj = s.sys.define_object("acct", "bank", BankAccount{}.snapshot(), {2}, {2},
+                                ReplicationPolicy::SingleCopyPassive, 1);
+  auto* client = s.sys.client(1);
+  Status outcome = ok_status();
+  s.run([](ReplicaSystem& sys, core::ClientSession* client, Uid obj,
+           Status& outcome) -> sim::Task<> {
+    auto txn = client->begin();
+    (void)co_await txn->invoke(obj, "deposit", i64_buf(10), LockMode::Write);
+    sys.cluster().node(2).crash();  // the only server AND store node
+    outcome = co_await txn->commit();
+  }(s.sys, client, obj, outcome));
+  EXPECT_EQ(outcome.error(), Err::Aborted);
+}
+
+// |Sv|=1, |St|=3: single-copy passive replication (fig 3). A store crash
+// during the action leads to Exclude at commit; the action still commits.
+TEST(Replication, Fig3StoreCrashExcludedAtCommit) {
+  Sys s;
+  Uid obj = s.sys.define_object("acct", "bank", BankAccount{}.snapshot(), {2}, {3, 4, 5},
+                                ReplicationPolicy::SingleCopyPassive, 1);
+  auto* client = s.sys.client(1);
+  Status outcome = Err::Aborted;
+  s.run([](ReplicaSystem& sys, core::ClientSession* client, Uid obj,
+           Status& outcome) -> sim::Task<> {
+    auto txn = client->begin();
+    (void)co_await txn->invoke(obj, "deposit", i64_buf(5), LockMode::Write);
+    sys.cluster().node(4).crash();  // one of the three stores
+    outcome = co_await txn->commit();
+  }(s.sys, client, obj, outcome));
+  EXPECT_TRUE(outcome.ok());
+  // Node 4 was excluded from St; 3 and 5 hold the new state.
+  EXPECT_EQ(s.sys.gvdb().states().peek(obj), (std::vector<sim::NodeId>{3, 5}));
+  EXPECT_EQ(s.sys.store_at(3).read(obj).value().version, 2u);
+  EXPECT_EQ(s.sys.store_at(5).read(obj).value().version, 2u);
+}
+
+// Mutual-consistency invariant: after any commit, every node left in
+// St(A) holds an identical latest state.
+TEST(Replication, StNodesMutuallyConsistentAfterCommits) {
+  Sys s;
+  Uid obj = s.sys.define_object("ctr", "counter", Counter{}.snapshot(), {2}, {3, 4, 5},
+                                ReplicationPolicy::SingleCopyPassive, 1);
+  auto* client = s.sys.client(1);
+  s.run([](core::ClientSession* client, Uid obj) -> sim::Task<> {
+    for (int i = 0; i < 5; ++i) {
+      auto txn = client->begin();
+      (void)co_await txn->invoke(obj, "add", i64_buf(1), LockMode::Write);
+      EXPECT_TRUE((co_await txn->commit()).ok());
+    }
+  }(client, obj));
+  const auto st = s.sys.gvdb().states().peek(obj);
+  ASSERT_EQ(st.size(), 3u);
+  auto first = s.sys.store_at(st[0]).read(obj);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().version, 6u);
+  for (auto node : st) {
+    auto r = s.sys.store_at(node).read(obj);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().version, first.value().version);
+    EXPECT_EQ(r.value().state.checksum(), first.value().state.checksum());
+  }
+}
+
+// |Sv|=3, |St|=1: active replication masks server crashes (fig 4).
+TEST(Replication, Fig4ActiveReplicationMasksServerCrash) {
+  Sys s;
+  Uid obj = s.sys.define_object("ctr", "counter", Counter{}.snapshot(), {2, 3, 4}, {5},
+                                ReplicationPolicy::Active, 3);
+  auto* client = s.sys.client(1);
+  bool committed = false;
+  std::int64_t final_value = -1;
+  s.run([](ReplicaSystem& sys, core::ClientSession* client, Uid obj, bool& committed,
+           std::int64_t& final_value) -> sim::Task<> {
+    auto txn = client->begin();
+    auto r1 = co_await txn->invoke(obj, "add", i64_buf(1), LockMode::Write);
+    EXPECT_TRUE(r1.ok());
+    sys.cluster().node(2).crash();  // kill one of the three replicas
+    auto r2 = co_await txn->invoke(obj, "add", i64_buf(1), LockMode::Write);
+    EXPECT_TRUE(r2.ok());  // masked: the other replicas answer
+    if (r2.ok()) final_value = r2.value().unpack_i64().value();
+    committed = (co_await txn->commit()).ok();
+  }(s.sys, client, obj, committed, final_value));
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(final_value, 2);
+  // The store received the committed state from a surviving replica.
+  EXPECT_EQ(s.sys.store_at(5).read(obj).value().version, 2u);
+}
+
+TEST(Replication, ActiveReplicasStayIdentical) {
+  Sys s;
+  Uid obj = s.sys.define_object("log", "log", EventLog{}.snapshot(), {2, 3, 4}, {5},
+                                ReplicationPolicy::Active, 3);
+  auto* client = s.sys.client(1);
+  s.run([](core::ClientSession* client, Uid obj) -> sim::Task<> {
+    auto txn = client->begin();
+    for (int i = 0; i < 10; ++i) {
+      Buffer args;
+      args.pack_string("entry-" + std::to_string(i));
+      EXPECT_TRUE((co_await txn->invoke(obj, "append", std::move(args), LockMode::Write)).ok());
+    }
+    EXPECT_TRUE((co_await txn->commit()).ok());
+  }(client, obj));
+  // All three replicas applied the same sequence: identical snapshots.
+  auto s2 = s.sys.host_at(2).status(obj);
+  auto s3 = s.sys.host_at(3).status(obj);
+  auto s4 = s.sys.host_at(4).status(obj);
+  EXPECT_TRUE(s2.active && s3.active && s4.active);
+  auto snap2 = s.sys.host_at(2).state_for_commit(obj, Uid{}).value().snapshot;
+  auto snap3 = s.sys.host_at(3).state_for_commit(obj, Uid{}).value().snapshot;
+  auto snap4 = s.sys.host_at(4).state_for_commit(obj, Uid{}).value().snapshot;
+  EXPECT_EQ(snap2.checksum(), snap3.checksum());
+  EXPECT_EQ(snap3.checksum(), snap4.checksum());
+}
+
+// Coordinator-cohort: the cohorts receive checkpoints at commit; after a
+// coordinator crash the next transaction is served by a warm cohort
+// without touching the stores.
+TEST(Replication, CoordinatorCohortFailover) {
+  Sys s;
+  Uid obj = s.sys.define_object("acct", "bank", BankAccount{}.snapshot(), {2, 3}, {5},
+                                ReplicationPolicy::CoordinatorCohort, 2);
+  auto* client = s.sys.client(1);
+  std::int64_t balance_after_failover = -1;
+  s.run([](ReplicaSystem& sys, core::ClientSession* client, Uid obj,
+           std::int64_t& balance) -> sim::Task<> {
+    {
+      auto txn = client->begin();
+      EXPECT_TRUE((co_await txn->invoke(obj, "deposit", i64_buf(50), LockMode::Write)).ok());
+      EXPECT_TRUE((co_await txn->commit()).ok());
+    }
+    // The cohort (node 3) now holds the committed checkpoint.
+    EXPECT_TRUE(sys.host_at(3).is_active(obj));
+    EXPECT_EQ(sys.host_at(3).status(obj).version, 2u);
+
+    sys.cluster().node(2).crash();  // kill the coordinator
+
+    auto txn = client->begin();
+    auto r = co_await txn->invoke(obj, "balance", Buffer{}, LockMode::Read);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) balance = r.value().unpack_i64().value();
+    EXPECT_TRUE((co_await txn->commit()).ok());
+  }(s.sys, client, obj, balance_after_failover));
+  EXPECT_EQ(balance_after_failover, 50);
+}
+
+// Abort restores the object's before-image at every replica.
+TEST(Replication, AbortRestoresBeforeImage) {
+  Sys s;
+  Uid obj = s.sys.define_object("acct", "bank", BankAccount{}.snapshot(), {2}, {3},
+                                ReplicationPolicy::SingleCopyPassive, 1);
+  auto* client = s.sys.client(1);
+  s.run([](core::ClientSession* client, Uid obj) -> sim::Task<> {
+    {
+      auto txn = client->begin();
+      (void)co_await txn->invoke(obj, "deposit", i64_buf(100), LockMode::Write);
+      EXPECT_TRUE((co_await txn->commit()).ok());
+    }
+    {
+      auto txn = client->begin();
+      (void)co_await txn->invoke(obj, "deposit", i64_buf(999), LockMode::Write);
+      (void)co_await txn->abort();
+    }
+    {
+      auto txn = client->begin();
+      auto r = co_await txn->invoke(obj, "balance", Buffer{}, LockMode::Read);
+      EXPECT_TRUE(r.ok());
+      if (r.ok()) EXPECT_EQ(r.value().unpack_i64().value(), 100);
+      (void)co_await txn->commit();
+    }
+  }(client, obj));
+}
+
+// Read-only transactions skip the copy-back entirely (sec 4.2.1).
+TEST(Replication, ReadOnlyOptimisationSkipsStores) {
+  Sys s;
+  Uid obj = s.sys.define_object("acct", "bank", BankAccount{}.snapshot(), {2}, {3, 4},
+                                ReplicationPolicy::SingleCopyPassive, 1);
+  auto* client = s.sys.client(1);
+  s.run([](core::ClientSession* client, Uid obj) -> sim::Task<> {
+    auto txn = client->begin();
+    (void)co_await txn->invoke(obj, "balance", Buffer{}, LockMode::Read);
+    EXPECT_TRUE((co_await txn->commit()).ok());
+  }(client, obj));
+  EXPECT_EQ(client->commit_processor().counters().get("commit.read_only_skip"), 1u);
+  EXPECT_EQ(client->commit_processor().counters().get("commit.state_copied"), 0u);
+  // Version unchanged in the stores.
+  EXPECT_EQ(s.sys.store_at(3).read(obj).value().version, 1u);
+}
+
+// ---------------------------------------------------------- recovery
+
+// A store node crashes, misses a commit (gets excluded), recovers,
+// refreshes its state from a peer and is Included back.
+TEST(Recovery, ExcludedStoreRefreshesAndRejoins) {
+  Sys s;
+  Uid obj = s.sys.define_object("ctr", "counter", Counter{}.snapshot(), {2}, {3, 4},
+                                ReplicationPolicy::SingleCopyPassive, 1);
+  auto* client = s.sys.client(1);
+  s.run([](ReplicaSystem& sys, core::ClientSession* client, Uid obj) -> sim::Task<> {
+    sys.cluster().node(4).crash();
+    {
+      auto txn = client->begin();
+      (void)co_await txn->invoke(obj, "add", i64_buf(7), LockMode::Write);
+      EXPECT_TRUE((co_await txn->commit()).ok());  // node 4 excluded here
+    }
+    EXPECT_EQ(sys.gvdb().states().peek(obj), (std::vector<sim::NodeId>{3}));
+
+    sys.cluster().node(4).recover();  // recovery daemon arms automatically
+  }(s.sys, client, obj));
+  s.sys.sim().run();  // let the repair pass finish
+
+  // Node 4 is back in St with the refreshed state, and serves reads again.
+  auto st = s.sys.gvdb().states().peek(obj);
+  std::sort(st.begin(), st.end());
+  EXPECT_EQ(st, (std::vector<sim::NodeId>{3, 4}));
+  auto r = s.sys.store_at(4).read(obj);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().version, 2u);
+}
+
+// A store that crashed WITHOUT missing anything validates quickly and
+// keeps serving (it is never excluded).
+TEST(Recovery, CleanCrashValidatesWithoutRefresh) {
+  Sys s;
+  Uid obj = s.sys.define_object("ctr", "counter", Counter{}.snapshot(), {2}, {3, 4},
+                                ReplicationPolicy::SingleCopyPassive, 1);
+  s.sys.cluster().node(4).crash();
+  s.sys.cluster().node(4).recover();
+  s.sys.sim().run();
+  EXPECT_FALSE(s.sys.store_at(4).suspect(obj));
+  EXPECT_EQ(s.sys.recovery_at(4).counters().get("recovery.refreshed"), 0u);
+  EXPECT_GE(s.sys.recovery_at(4).counters().get("recovery.validated"), 1u);
+}
+
+// A recovered server node re-runs Insert before serving (sec 4.1.2).
+TEST(Recovery, RecoveredServerReinserts) {
+  Sys s;
+  Uid obj = s.sys.define_object("ctr", "counter", Counter{}.snapshot(), {2, 3}, {4},
+                                ReplicationPolicy::Active, 2);
+  (void)obj;
+  s.sys.cluster().node(2).crash();
+  s.sys.cluster().node(2).recover();
+  s.sys.sim().run();
+  EXPECT_GE(s.sys.recovery_at(2).counters().get("recovery.reinserted"), 1u);
+}
+
+}  // namespace
+}  // namespace gv::replication

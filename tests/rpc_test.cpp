@@ -1,0 +1,329 @@
+// Tests for the RPC layer: request/reply, timeouts, binding-break
+// semantics (sec 3.1), group communication ordering/reliability (sec 2.3),
+// and failure detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rpc/failure_detector.h"
+#include "rpc/group_comm.h"
+#include "rpc/rpc.h"
+#include "sim/simulator.h"
+
+namespace gv::rpc {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim{99};
+  sim::Cluster cluster{sim};
+  sim::Network net{sim, cluster};
+  std::unique_ptr<RpcFabric> fabric;
+
+  explicit Fixture(std::size_t nodes = 4) {
+    cluster.add_nodes(nodes);
+    fabric = std::make_unique<RpcFabric>(cluster, net);
+  }
+  RpcEndpoint& ep(NodeId id) { return fabric->endpoint(id); }
+};
+
+// Registers an "echo" service on `server` that doubles a u32.
+void register_doubler(Fixture& f, NodeId server) {
+  f.ep(server).register_method("math", "double",
+                               [](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+                                 auto v = args.unpack_u32();
+                                 if (!v.ok()) co_return Err::BadRequest;
+                                 Buffer out;
+                                 out.pack_u32(v.value() * 2);
+                                 co_return out;
+                               });
+}
+
+TEST(Rpc, BasicRequestReply) {
+  Fixture f;
+  register_doubler(f, 1);
+  Result<Buffer> got = Err::Timeout;
+  f.sim.spawn([](Fixture& f, Result<Buffer>& got) -> sim::Task<> {
+    Buffer args;
+    args.pack_u32(21);
+    got = co_await f.ep(0).call(1, "math", "double", std::move(args));
+  }(f, got));
+  f.sim.run();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().unpack_u32().value(), 42u);
+}
+
+TEST(Rpc, UnknownMethodIsNotFound) {
+  Fixture f;
+  Result<Buffer> got = Err::None;
+  f.sim.spawn([](Fixture& f, Result<Buffer>& got) -> sim::Task<> {
+    got = co_await f.ep(0).call(1, "nope", "missing", Buffer{});
+  }(f, got));
+  f.sim.run();
+  EXPECT_EQ(got.error(), Err::NotFound);
+}
+
+TEST(Rpc, CallToCrashedNodeTimesOut) {
+  Fixture f;
+  register_doubler(f, 1);
+  f.cluster.node(1).crash();
+  Result<Buffer> got = Err::None;
+  f.sim.spawn([](Fixture& f, Result<Buffer>& got) -> sim::Task<> {
+    got = co_await f.ep(0).call(1, "math", "double", Buffer{});
+  }(f, got));
+  f.sim.run();
+  EXPECT_EQ(got.error(), Err::Timeout);
+  // The timeout is the only thing that advanced the clock that far.
+  EXPECT_GE(f.sim.now(), f.ep(0).config().call_timeout);
+}
+
+TEST(Rpc, ServerCrashDuringHandlerMeansNoReply) {
+  Fixture f;
+  // Handler sleeps long enough that we can crash the server mid-call.
+  f.ep(1).register_method("slow", "op", [&f](NodeId, Buffer) -> sim::Task<Result<Buffer>> {
+    co_await f.sim.sleep(10 * sim::kMillisecond);
+    co_return Buffer{};
+  });
+  Result<Buffer> got = Err::None;
+  f.sim.spawn([](Fixture& f, Result<Buffer>& got) -> sim::Task<> {
+    got = co_await f.ep(0).call(1, "slow", "op", Buffer{});
+  }(f, got));
+  f.sim.schedule(5 * sim::kMillisecond, [&] { f.cluster.node(1).crash(); });
+  f.sim.run();
+  EXPECT_EQ(got.error(), Err::Timeout);
+}
+
+TEST(Rpc, NestedRpcFromHandler) {
+  Fixture f;
+  register_doubler(f, 2);
+  // Node 1 exposes quadruple = double(double(x)) via a nested call to 2.
+  f.ep(1).register_method("math", "quad", [&f](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+    auto r1 = co_await f.ep(1).call(2, "math", "double", std::move(args));
+    if (!r1.ok()) co_return r1.error();
+    co_return co_await f.ep(1).call(2, "math", "double", std::move(r1).value());
+  });
+  Result<Buffer> got = Err::None;
+  f.sim.spawn([](Fixture& f, Result<Buffer>& got) -> sim::Task<> {
+    Buffer args;
+    args.pack_u32(5);
+    got = co_await f.ep(0).call(1, "math", "quad", std::move(args));
+  }(f, got));
+  f.sim.run();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().unpack_u32().value(), 20u);
+}
+
+// ------------------------------------------------------------- Bindings
+
+TEST(Rpc, BindThenCallBound) {
+  Fixture f;
+  register_doubler(f, 1);
+  std::uint32_t got = 0;
+  f.sim.spawn([](Fixture& f, std::uint32_t& got) -> sim::Task<> {
+    auto b = co_await f.ep(0).bind(1);
+    EXPECT_TRUE(b.ok());
+    if (!b.ok()) co_return;
+    Buffer args;
+    args.pack_u32(8);
+    auto r = co_await f.ep(0).call_bound(b.value(), "math", "double", std::move(args));
+    EXPECT_TRUE(r.ok());
+    if (!r.ok()) co_return;
+    got = r.value().unpack_u32().value();
+  }(f, got));
+  f.sim.run();
+  EXPECT_EQ(got, 16u);
+}
+
+TEST(Rpc, BindToCrashedNodeFails) {
+  Fixture f;
+  f.cluster.node(1).crash();
+  Err got = Err::None;
+  f.sim.spawn([](Fixture& f, Err& got) -> sim::Task<> {
+    auto b = co_await f.ep(0).bind(1);
+    got = b.error();
+  }(f, got));
+  f.sim.run();
+  EXPECT_EQ(got, Err::Timeout);
+}
+
+TEST(Rpc, BindingStaysBrokenAfterRecovery) {
+  // Sec 3.1: "a broken binding stays that way till the application level
+  // action terminates" — even if the server node recovers.
+  Fixture f;
+  register_doubler(f, 1);
+  std::vector<Err> errs;
+  f.sim.spawn([](Fixture& f, std::vector<Err>& errs) -> sim::Task<> {
+    auto b = co_await f.ep(0).bind(1);
+    EXPECT_TRUE(b.ok());
+    if (!b.ok()) co_return;
+    Binding binding = b.value();
+    // Crash + instant recovery: the node is up again but in a new epoch.
+    f.cluster.node(1).crash();
+    f.cluster.node(1).recover();
+    Buffer args;
+    args.pack_u32(1);
+    auto r1 = co_await f.ep(0).call_bound(binding, "math", "double", std::move(args));
+    errs.push_back(r1.error());
+    // The binding is now marked broken; further calls refuse locally.
+    Buffer args2;
+    args2.pack_u32(1);
+    auto r2 = co_await f.ep(0).call_bound(binding, "math", "double", std::move(args2));
+    errs.push_back(r2.error());
+    EXPECT_TRUE(binding.broken);
+  }(f, errs));
+  f.sim.run();
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_EQ(errs[0], Err::BindingBroken);  // server rejects stale epoch
+  EXPECT_EQ(errs[1], Err::BindingBroken);  // local refusal, no network
+}
+
+TEST(Rpc, BoundCallTimeoutBreaksBinding) {
+  Fixture f;
+  register_doubler(f, 1);
+  bool broken = false;
+  f.sim.spawn([](Fixture& f, bool& broken) -> sim::Task<> {
+    auto b = co_await f.ep(0).bind(1);
+    EXPECT_TRUE(b.ok());
+    if (!b.ok()) co_return;
+    Binding binding = b.value();
+    f.cluster.node(1).crash();
+    Buffer args;
+    args.pack_u32(1);
+    auto r = co_await f.ep(0).call_bound(binding, "math", "double", std::move(args));
+    EXPECT_EQ(r.error(), Err::Timeout);
+    broken = binding.broken;
+  }(f, broken));
+  f.sim.run();
+  EXPECT_TRUE(broken);
+}
+
+TEST(Rpc, ClientCrashAbandonsOutstandingCall) {
+  Fixture f;
+  f.ep(1).register_method("slow", "op", [&f](NodeId, Buffer) -> sim::Task<Result<Buffer>> {
+    co_await f.sim.sleep(10 * sim::kMillisecond);
+    co_return Buffer{};
+  });
+  bool resumed = false;
+  f.sim.spawn([](Fixture& f, bool& resumed) -> sim::Task<> {
+    (void)co_await f.ep(0).call(1, "slow", "op", Buffer{});
+    resumed = true;  // must never run: the client process died
+  }(f, resumed));
+  f.sim.schedule(2 * sim::kMillisecond, [&] { f.cluster.node(0).crash(); });
+  f.sim.run();
+  EXPECT_FALSE(resumed);
+}
+
+// ------------------------------------------------------------ GroupComm
+
+struct GroupFixture : Fixture {
+  GroupComm gc{sim, cluster, net};
+  GroupFixture() : Fixture(5) {}
+};
+
+TEST(GroupComm, OrderedDeliveryIdenticalAtAllMembers) {
+  GroupFixture f;
+  f.gc.create_group("g", {1, 2, 3});
+  std::vector<std::vector<std::uint32_t>> logs(4);
+  for (NodeId m : {1u, 2u, 3u}) {
+    f.gc.join("g", m, [&logs, m](NodeId, std::uint64_t, Buffer msg) {
+      logs[m].push_back(msg.unpack_u32().value());
+    });
+  }
+  // Interleave multicasts from two senders; jitter would reorder plain
+  // datagrams, but ordered delivery must be identical everywhere.
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    Buffer b;
+    b.pack_u32(i);
+    f.gc.multicast(i % 2 ? 0 : 4, "g", std::move(b), McastMode::ReliableOrdered);
+  }
+  f.sim.run();
+  EXPECT_EQ(logs[1].size(), 20u);
+  EXPECT_EQ(logs[1], logs[2]);
+  EXPECT_EQ(logs[2], logs[3]);
+}
+
+TEST(GroupComm, UnreliableModeCanDropCopies) {
+  GroupFixture f;
+  f.net.config().loss_prob = 0.4;
+  f.gc.create_group("g", {1, 2});
+  int delivered = 0;
+  for (NodeId m : {1u, 2u})
+    f.gc.join("g", m, [&delivered](NodeId, std::uint64_t, Buffer) { ++delivered; });
+  for (int i = 0; i < 500; ++i) f.gc.multicast(0, "g", Buffer{}, McastMode::Unreliable);
+  f.sim.run();
+  // ~60% of 1000 copies should arrive.
+  EXPECT_GT(delivered, 400);
+  EXPECT_LT(delivered, 800);
+}
+
+TEST(GroupComm, PartialMulticastDeliversPrefixOnly) {
+  GroupFixture f;
+  f.gc.create_group("g", {1, 2, 3});
+  std::vector<int> got(4, 0);
+  for (NodeId m : {1u, 2u, 3u})
+    f.gc.join("g", m, [&got, m](NodeId, std::uint64_t, Buffer) { ++got[m]; });
+  f.gc.multicast_partial(0, "g", Buffer{}, 1);  // only the first member
+  f.sim.run();
+  EXPECT_EQ(got[1], 1);
+  EXPECT_EQ(got[2], 0);
+  EXPECT_EQ(got[3], 0);
+}
+
+TEST(GroupComm, CrashedMemberDroppedFromView) {
+  GroupFixture f;
+  f.gc.create_group("g", {1, 2});
+  std::vector<int> got(3, 0);
+  for (NodeId m : {1u, 2u})
+    f.gc.join("g", m, [&got, m](NodeId, std::uint64_t, Buffer) { ++got[m]; });
+  f.gc.multicast(0, "g", Buffer{}, McastMode::ReliableOrdered);
+  f.cluster.node(2).crash();
+  f.sim.run();
+  // Member 2 was down at delivery: dropped from the view; later recovery
+  // without rejoin must deliver nothing.
+  f.cluster.node(2).recover();
+  f.gc.multicast(0, "g", Buffer{}, McastMode::ReliableOrdered);
+  f.sim.run();
+  EXPECT_EQ(got[1], 2);
+  EXPECT_EQ(got[2], 0);
+  EXPECT_EQ(f.gc.counters().get("gc.view_change_member_dropped"), 1u);
+}
+
+// ------------------------------------------------------ FailureDetector
+
+TEST(FailureDetector, DetectsAliveAndDead) {
+  Fixture f;
+  FailureDetector fd{f.ep(0)};
+  std::vector<bool> results;
+  f.sim.spawn([](Fixture& f, FailureDetector& fd, std::vector<bool>& out) -> sim::Task<> {
+    out.push_back(co_await fd.alive(1));
+    f.cluster.node(1).crash();
+    out.push_back(co_await fd.alive(1));
+  }(f, fd, results));
+  f.sim.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0]);
+  EXPECT_FALSE(results[1]);
+}
+
+TEST(FailureDetector, MonitorFiresOnceOnFailure) {
+  Fixture f;
+  FailureDetector fd{f.ep(0)};
+  int fired = 0;
+  fd.watch(1, 5 * sim::kMillisecond, [&] { ++fired; });
+  f.sim.schedule(12 * sim::kMillisecond, [&] { f.cluster.node(1).crash(); });
+  f.sim.run_until(200 * sim::kMillisecond);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(FailureDetector, CancelledMonitorNeverFires) {
+  Fixture f;
+  FailureDetector fd{f.ep(0)};
+  int fired = 0;
+  auto handle = fd.watch(1, 5 * sim::kMillisecond, [&] { ++fired; });
+  handle->cancelled = true;
+  f.cluster.node(1).crash();
+  f.sim.run_until(100 * sim::kMillisecond);
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace gv::rpc

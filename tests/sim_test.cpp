@@ -1,0 +1,280 @@
+// Tests for the simulation substrate: event ordering, coroutine tasks,
+// futures, node crash/recover semantics, and the network failure model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/future.h"
+#include "sim/network.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace gv::sim {
+namespace {
+
+// ------------------------------------------------------------ Simulator
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.schedule(10, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  auto id = sim.schedule(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtLimit) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(10, [&] { ++count; });
+  sim.schedule(20, [&] { ++count; });
+  sim.schedule(30, [&] { ++count; });
+  sim.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, NestedSchedulingFromEvents) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.schedule(5, [&] {
+    times.push_back(sim.now());
+    sim.schedule(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{5, 10}));
+}
+
+// ----------------------------------------------------------------- Task
+
+Task<int> answer() { co_return 42; }
+
+Task<int> add(Simulator& sim, int a, int b) {
+  co_await sim.sleep(10);
+  co_return a + b;
+}
+
+Task<> record_sum(Simulator& sim, std::vector<int>& out) {
+  int x = co_await add(sim, 1, 2);
+  int y = co_await add(sim, x, 10);
+  out.push_back(y);
+}
+
+TEST(Task, SpawnedTaskRunsToCompletion) {
+  Simulator sim;
+  std::vector<int> out;
+  sim.spawn(record_sum(sim, out));
+  sim.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 13);
+  EXPECT_EQ(sim.now(), 20u);  // two sleeps of 10
+}
+
+TEST(Task, ImmediateTaskCompletesWithoutEvents) {
+  Simulator sim;
+  int got = 0;
+  sim.spawn([](int& g) -> Task<> { g = co_await answer(); }(got));
+  // answer() never suspends; the spawn drives it synchronously.
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Task, ManyConcurrentTasksInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn([](Simulator& s, std::vector<int>& o, int id) -> Task<> {
+      co_await s.sleep(static_cast<SimTime>(10 * (4 - id)));
+      o.push_back(id);
+    }(sim, order, i));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Task, DeepAwaitChainDoesNotOverflow) {
+  Simulator sim;
+  // Symmetric transfer: a 10k-deep chain of awaits must not blow the stack.
+  struct Rec {
+    static Task<int> down(int n) {
+      if (n == 0) co_return 0;
+      int v = co_await down(n - 1);
+      co_return v + 1;
+    }
+  };
+  int got = -1;
+  sim.spawn([](int& g) -> Task<> { g = co_await Rec::down(10000); }(got));
+  sim.run();
+  EXPECT_EQ(got, 10000);
+}
+
+// ------------------------------------------------------------ SimFuture
+
+TEST(SimFuture, AwaitAlreadyResolved) {
+  Simulator sim;
+  SimPromise<int> p{sim};
+  p.set_value(5);
+  int got = 0;
+  sim.spawn([](SimFuture<int> f, int& g) -> Task<> { g = co_await f; }(p.future(), got));
+  sim.run();
+  EXPECT_EQ(got, 5);
+}
+
+TEST(SimFuture, AwaitThenResolve) {
+  Simulator sim;
+  SimPromise<int> p{sim};
+  int got = 0;
+  sim.spawn([](SimFuture<int> f, int& g) -> Task<> { g = co_await f; }(p.future(), got));
+  sim.schedule(50, [&] { p.set_value(9); });
+  sim.run();
+  EXPECT_EQ(got, 9);
+}
+
+TEST(SimFuture, FirstResolutionWins) {
+  Simulator sim;
+  SimPromise<int> p{sim};
+  EXPECT_TRUE(p.set_value(1));
+  EXPECT_FALSE(p.set_value(2));  // late reply dropped
+  int got = 0;
+  sim.spawn([](SimFuture<int> f, int& g) -> Task<> { g = co_await f; }(p.future(), got));
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+// ----------------------------------------------------------------- Node
+
+TEST(Node, CrashWipesAndBumpsEpoch) {
+  Simulator sim;
+  Cluster cluster{sim};
+  auto id = cluster.add_node();
+  Node& n = cluster.node(id);
+
+  int wiped = 0, restarted = 0;
+  n.on_crash([&] { ++wiped; });
+  n.on_recover([&] { ++restarted; });
+
+  EXPECT_TRUE(n.up());
+  EXPECT_EQ(n.epoch(), 0u);
+  n.crash();
+  EXPECT_FALSE(n.up());
+  EXPECT_EQ(n.epoch(), 1u);
+  EXPECT_EQ(wiped, 1);
+  n.crash();  // idempotent while down
+  EXPECT_EQ(n.epoch(), 1u);
+  EXPECT_EQ(wiped, 1);
+  n.recover();
+  EXPECT_TRUE(n.up());
+  EXPECT_EQ(restarted, 1);
+  n.recover();  // idempotent while up
+  EXPECT_EQ(restarted, 1);
+  EXPECT_EQ(n.crash_count(), 1u);
+}
+
+// -------------------------------------------------------------- Network
+
+struct NetFixture {
+  Simulator sim{1234};
+  Cluster cluster{sim};
+  Network net{sim, cluster};
+  NetFixture() { cluster.add_nodes(3); }
+};
+
+TEST(Network, DeliversWithLatency) {
+  NetFixture f;
+  std::vector<std::pair<NodeId, std::uint32_t>> got;
+  f.net.register_handler(1, [&](NodeId from, Buffer msg) {
+    got.emplace_back(from, msg.unpack_u32().value());
+  });
+  Buffer b;
+  b.pack_u32(77);
+  f.net.send(0, 1, b);
+  f.sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 0u);
+  EXPECT_EQ(got[0].second, 77u);
+  EXPECT_GE(f.sim.now(), f.net.config().base_latency);
+}
+
+TEST(Network, CrashedSenderEmitsNothing) {
+  NetFixture f;
+  int delivered = 0;
+  f.net.register_handler(1, [&](NodeId, Buffer) { ++delivered; });
+  f.cluster.node(0).crash();
+  f.net.send(0, 1, Buffer{});
+  f.sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(f.net.counters().get("net.drop_sender_down"), 1u);
+}
+
+TEST(Network, CrashedReceiverGetsNothing) {
+  NetFixture f;
+  int delivered = 0;
+  f.net.register_handler(1, [&](NodeId, Buffer) { ++delivered; });
+  f.net.send(0, 1, Buffer{});
+  f.cluster.node(1).crash();  // crashes before delivery
+  f.sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(f.net.counters().get("net.drop_receiver_down"), 1u);
+}
+
+TEST(Network, PartitionBlocksAndHealRestores) {
+  NetFixture f;
+  int delivered = 0;
+  f.net.register_handler(1, [&](NodeId, Buffer) { ++delivered; });
+  f.net.partition({0}, {1, 2});
+  f.net.send(0, 1, Buffer{});
+  f.sim.run();
+  EXPECT_EQ(delivered, 0);
+  f.net.heal();
+  f.net.send(0, 1, Buffer{});
+  f.sim.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Network, LossProbabilityDropsRoughlyThatFraction) {
+  NetFixture f;
+  f.net.config().loss_prob = 0.5;
+  int delivered = 0;
+  f.net.register_handler(1, [&](NodeId, Buffer) { ++delivered; });
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) f.net.send(0, 1, Buffer{});
+  f.sim.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.5, 0.05);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    NetFixture f;
+    f.net.config().loss_prob = 0.3;
+    std::vector<SimTime> times;
+    f.net.register_handler(1, [&](NodeId, Buffer) { times.push_back(f.sim.now()); });
+    for (int i = 0; i < 100; ++i) f.net.send(0, 1, Buffer{});
+    f.sim.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace gv::sim
