@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_exclude_lock.dir/bench_ablation_exclude_lock.cpp.o"
+  "CMakeFiles/bench_ablation_exclude_lock.dir/bench_ablation_exclude_lock.cpp.o.d"
+  "bench_ablation_exclude_lock"
+  "bench_ablation_exclude_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exclude_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

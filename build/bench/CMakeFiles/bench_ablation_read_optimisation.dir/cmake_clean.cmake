@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_read_optimisation.dir/bench_ablation_read_optimisation.cpp.o"
+  "CMakeFiles/bench_ablation_read_optimisation.dir/bench_ablation_read_optimisation.cpp.o.d"
+  "bench_ablation_read_optimisation"
+  "bench_ablation_read_optimisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_read_optimisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

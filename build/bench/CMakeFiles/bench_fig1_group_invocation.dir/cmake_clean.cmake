@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_group_invocation.dir/bench_fig1_group_invocation.cpp.o"
+  "CMakeFiles/bench_fig1_group_invocation.dir/bench_fig1_group_invocation.cpp.o.d"
+  "bench_fig1_group_invocation"
+  "bench_fig1_group_invocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_group_invocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

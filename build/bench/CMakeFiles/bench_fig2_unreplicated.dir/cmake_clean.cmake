@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_unreplicated.dir/bench_fig2_unreplicated.cpp.o"
+  "CMakeFiles/bench_fig2_unreplicated.dir/bench_fig2_unreplicated.cpp.o.d"
+  "bench_fig2_unreplicated"
+  "bench_fig2_unreplicated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_unreplicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

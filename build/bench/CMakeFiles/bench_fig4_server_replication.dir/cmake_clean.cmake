@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_server_replication.dir/bench_fig4_server_replication.cpp.o"
+  "CMakeFiles/bench_fig4_server_replication.dir/bench_fig4_server_replication.cpp.o.d"
+  "bench_fig4_server_replication"
+  "bench_fig4_server_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_server_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

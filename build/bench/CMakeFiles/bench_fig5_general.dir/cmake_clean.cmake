@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_general.dir/bench_fig5_general.cpp.o"
+  "CMakeFiles/bench_fig5_general.dir/bench_fig5_general.cpp.o.d"
+  "bench_fig5_general"
+  "bench_fig5_general.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_standard_actions.dir/bench_fig6_standard_actions.cpp.o"
+  "CMakeFiles/bench_fig6_standard_actions.dir/bench_fig6_standard_actions.cpp.o.d"
+  "bench_fig6_standard_actions"
+  "bench_fig6_standard_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_standard_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

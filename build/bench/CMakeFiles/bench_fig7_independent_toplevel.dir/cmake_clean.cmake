@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_independent_toplevel.dir/bench_fig7_independent_toplevel.cpp.o"
+  "CMakeFiles/bench_fig7_independent_toplevel.dir/bench_fig7_independent_toplevel.cpp.o.d"
+  "bench_fig7_independent_toplevel"
+  "bench_fig7_independent_toplevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_independent_toplevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

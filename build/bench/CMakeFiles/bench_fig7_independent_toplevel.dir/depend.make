@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_independent_toplevel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_nested_toplevel.dir/bench_fig8_nested_toplevel.cpp.o"
+  "CMakeFiles/bench_fig8_nested_toplevel.dir/bench_fig8_nested_toplevel.cpp.o.d"
+  "bench_fig8_nested_toplevel"
+  "bench_fig8_nested_toplevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nested_toplevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

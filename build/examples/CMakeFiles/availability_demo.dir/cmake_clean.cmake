@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_demo.dir/availability_demo.cpp.o"
+  "CMakeFiles/availability_demo.dir/availability_demo.cpp.o.d"
+  "availability_demo"
+  "availability_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_service.dir/directory_service.cpp.o"
+  "CMakeFiles/directory_service.dir/directory_service.cpp.o.d"
+  "directory_service"
+  "directory_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

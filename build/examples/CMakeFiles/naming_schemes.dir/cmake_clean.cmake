@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naming_schemes.dir/naming_schemes.cpp.o"
+  "CMakeFiles/naming_schemes.dir/naming_schemes.cpp.o.d"
+  "naming_schemes"
+  "naming_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naming_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

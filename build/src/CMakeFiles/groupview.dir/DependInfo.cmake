@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/actions/atomic_action.cpp" "src/CMakeFiles/groupview.dir/actions/atomic_action.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/actions/atomic_action.cpp.o.d"
+  "/root/repo/src/actions/coordinator_log.cpp" "src/CMakeFiles/groupview.dir/actions/coordinator_log.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/actions/coordinator_log.cpp.o.d"
+  "/root/repo/src/actions/lock_manager.cpp" "src/CMakeFiles/groupview.dir/actions/lock_manager.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/actions/lock_manager.cpp.o.d"
+  "/root/repo/src/core/chaos.cpp" "src/CMakeFiles/groupview.dir/core/chaos.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/core/chaos.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/groupview.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/CMakeFiles/groupview.dir/core/system.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/core/system.cpp.o.d"
+  "/root/repo/src/core/transaction.cpp" "src/CMakeFiles/groupview.dir/core/transaction.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/core/transaction.cpp.o.d"
+  "/root/repo/src/naming/binder.cpp" "src/CMakeFiles/groupview.dir/naming/binder.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/naming/binder.cpp.o.d"
+  "/root/repo/src/naming/db_base.cpp" "src/CMakeFiles/groupview.dir/naming/db_base.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/naming/db_base.cpp.o.d"
+  "/root/repo/src/naming/group_view_db.cpp" "src/CMakeFiles/groupview.dir/naming/group_view_db.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/naming/group_view_db.cpp.o.d"
+  "/root/repo/src/naming/hybrid.cpp" "src/CMakeFiles/groupview.dir/naming/hybrid.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/naming/hybrid.cpp.o.d"
+  "/root/repo/src/naming/janitor.cpp" "src/CMakeFiles/groupview.dir/naming/janitor.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/naming/janitor.cpp.o.d"
+  "/root/repo/src/naming/object_server_db.cpp" "src/CMakeFiles/groupview.dir/naming/object_server_db.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/naming/object_server_db.cpp.o.d"
+  "/root/repo/src/naming/object_state_db.cpp" "src/CMakeFiles/groupview.dir/naming/object_state_db.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/naming/object_state_db.cpp.o.d"
+  "/root/repo/src/replication/activator.cpp" "src/CMakeFiles/groupview.dir/replication/activator.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/replication/activator.cpp.o.d"
+  "/root/repo/src/replication/commit_processor.cpp" "src/CMakeFiles/groupview.dir/replication/commit_processor.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/replication/commit_processor.cpp.o.d"
+  "/root/repo/src/replication/object_server.cpp" "src/CMakeFiles/groupview.dir/replication/object_server.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/replication/object_server.cpp.o.d"
+  "/root/repo/src/replication/recovery.cpp" "src/CMakeFiles/groupview.dir/replication/recovery.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/replication/recovery.cpp.o.d"
+  "/root/repo/src/replication/state_machine.cpp" "src/CMakeFiles/groupview.dir/replication/state_machine.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/replication/state_machine.cpp.o.d"
+  "/root/repo/src/rpc/failure_detector.cpp" "src/CMakeFiles/groupview.dir/rpc/failure_detector.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/rpc/failure_detector.cpp.o.d"
+  "/root/repo/src/rpc/group_comm.cpp" "src/CMakeFiles/groupview.dir/rpc/group_comm.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/rpc/group_comm.cpp.o.d"
+  "/root/repo/src/rpc/rpc.cpp" "src/CMakeFiles/groupview.dir/rpc/rpc.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/rpc/rpc.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/groupview.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/CMakeFiles/groupview.dir/sim/node.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/sim/node.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/groupview.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/store/object_store.cpp" "src/CMakeFiles/groupview.dir/store/object_store.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/store/object_store.cpp.o.d"
+  "/root/repo/src/util/buffer.cpp" "src/CMakeFiles/groupview.dir/util/buffer.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/util/buffer.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/groupview.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/groupview.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/groupview.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/uid.cpp" "src/CMakeFiles/groupview.dir/util/uid.cpp.o" "gcc" "src/CMakeFiles/groupview.dir/util/uid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actions_test.dir/actions_test.cpp.o"
+  "CMakeFiles/actions_test.dir/actions_test.cpp.o.d"
+  "actions_test"
+  "actions_test.pdb"
+  "actions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

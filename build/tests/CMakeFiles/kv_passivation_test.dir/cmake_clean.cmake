@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_passivation_test.dir/kv_passivation_test.cpp.o"
+  "CMakeFiles/kv_passivation_test.dir/kv_passivation_test.cpp.o.d"
+  "kv_passivation_test"
+  "kv_passivation_test.pdb"
+  "kv_passivation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_passivation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
