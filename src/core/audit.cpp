@@ -1,0 +1,151 @@
+#include "core/audit.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gv::core {
+
+namespace {
+
+std::string fmt_time(sim::SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(t) / sim::kSecond);
+  return buf;
+}
+
+std::string fmt_nodes(const std::vector<sim::NodeId>& nodes) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    out += (i ? "," : "") + std::to_string(nodes[i]);
+  return out + "}";
+}
+
+}  // namespace
+
+void InvariantAuditor::start(sim::SimTime period) {
+  if (running_) return;
+  running_ = true;
+  sys_.sim().spawn([](InvariantAuditor* self, sim::SimTime p) -> sim::Task<> {
+    while (self->running_) {
+      co_await self->sys_.sim().sleep(p);
+      if (!self->running_) co_return;
+      self->check_now(false);
+    }
+  }(this, period));
+}
+
+void InvariantAuditor::fail(std::string invariant, std::string detail) {
+  violations_.push_back({sys_.sim().now(), std::move(invariant), std::move(detail)});
+}
+
+std::size_t InvariantAuditor::check_now(bool quiescent) {
+  const std::size_t before = violations_.size();
+  ++checks_run_;
+
+  for (const Uid& uid : tracked_) check_object(uid, quiescent);
+
+  if (quiescent) {
+    // Use-list balance: with every client action finished and every
+    // crashed client purged, no <client, count> entries may remain.
+    const auto in_use = sys_.gvdb().servers().clients_in_use();
+    if (!in_use.empty())
+      fail("use-list-balance", "clients still on use lists: " + fmt_nodes(in_use));
+
+    // 2PC left nothing undecided.
+    for (NodeId n = 0; n < sys_.cluster().size(); ++n) {
+      const std::size_t in_doubt = sys_.store_at(n).in_doubt_count();
+      if (in_doubt > 0)
+        fail("no-in-doubt",
+             "node " + std::to_string(n) + " holds " + std::to_string(in_doubt) +
+                 " unresolved in-doubt shadow(s)");
+    }
+
+    for (const NamedCheck& check : conservation_) {
+      if (auto detail = check.fn(); detail.has_value()) fail(check.name, *detail);
+    }
+  }
+
+  return violations_.size() - before;
+}
+
+void InvariantAuditor::check_object(const Uid& uid, bool quiescent) {
+  const std::vector<NodeId> st = sys_.gvdb().states().peek(uid);
+  auto in_st = [&st](NodeId n) { return std::find(st.begin(), st.end(), n) != st.end(); };
+
+  // Versions held anywhere (stable storage: readable even on down nodes).
+  std::uint64_t vmax_st = 0;     // newest inside St
+  std::uint64_t vmax_all = 0;    // newest anywhere
+  for (NodeId n = 0; n < sys_.cluster().size(); ++n) {
+    auto v = sys_.store_at(n).version(uid);
+    if (!v.ok()) continue;
+    vmax_all = std::max(vmax_all, v.value());
+    if (in_st(n)) vmax_st = std::max(vmax_st, v.value());
+  }
+
+  // escaped-view: committed data newer than anything the view knows about.
+  for (NodeId n = 0; n < sys_.cluster().size(); ++n) {
+    if (in_st(n)) continue;
+    auto v = sys_.store_at(n).version(uid);
+    if (v.ok() && v.value() > vmax_st)
+      fail("escaped-view",
+           uid.to_string() + ": node " + std::to_string(n) + " holds v" +
+               std::to_string(v.value()) + " outside St=" + fmt_nodes(st) + " (St max v" +
+               std::to_string(vmax_st) + ")");
+  }
+
+  if (quiescent) {
+    if (st.empty()) {
+      fail("view-nonempty", uid.to_string() + ": St is empty");
+      return;
+    }
+    // GetView ⊆ latest-state holders: every listed store is up, trusted
+    // and exactly current.
+    for (NodeId n : st) {
+      if (!sys_.cluster().node(n).up()) {
+        fail("view-freshness", uid.to_string() + ": St member " + std::to_string(n) +
+                                   " is down at quiescence");
+        continue;
+      }
+      if (sys_.store_at(n).suspect(uid)) {
+        fail("view-freshness",
+             uid.to_string() + ": St member " + std::to_string(n) + " still SUSPECT");
+        continue;
+      }
+      auto v = sys_.store_at(n).version(uid);
+      if (!v.ok())
+        fail("view-freshness",
+             uid.to_string() + ": St member " + std::to_string(n) + " holds no state");
+      else if (v.value() != vmax_all)
+        fail("view-freshness", uid.to_string() + ": St member " + std::to_string(n) +
+                                   " at v" + std::to_string(v.value()) + ", newest is v" +
+                                   std::to_string(vmax_all));
+    }
+    return;
+  }
+
+  // Mid-run: only up, non-suspect members are required to be current, and
+  // one commit's phase-2 installs may be in flight — so their versions may
+  // span at most two consecutive values (write locks serialise commits per
+  // object; a larger spread means a member missed a commit without being
+  // excluded).
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (NodeId n : st) {
+    if (!sys_.cluster().node(n).up() || sys_.store_at(n).suspect(uid)) continue;
+    auto v = sys_.store_at(n).version(uid);
+    if (!v.ok()) continue;  // repair refresh not yet landed
+    lo = std::min(lo, v.value());
+    hi = std::max(hi, v.value());
+  }
+  if (hi > 0 && lo != UINT64_MAX && hi - lo > 1)
+    fail("view-freshness", uid.to_string() + ": live St members span v" + std::to_string(lo) +
+                               "..v" + std::to_string(hi) + " (St=" + fmt_nodes(st) + ")");
+}
+
+std::string InvariantAuditor::report() const {
+  std::string out;
+  for (const AuditViolation& v : violations_)
+    out += "  " + fmt_time(v.at) + " [" + v.invariant + "] " + v.detail + "\n";
+  return out;
+}
+
+}  // namespace gv::core

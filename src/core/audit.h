@@ -1,0 +1,100 @@
+// Machine-checked invariants over the whole simulated system.
+//
+// The auditor is the oracle half of simulation testing: nemeses inject
+// faults, the auditor proves the system still upholds the paper's safety
+// properties. It runs in-process with global visibility (it may read any
+// node's stable storage directly, including crashed nodes') — it is a
+// test instrument, not part of the modelled system.
+//
+// Invariants checked for every tracked object A:
+//
+//   escaped-view    no node OUTSIDE St(A) holds a committed state newer
+//                   than every state held inside St(A). A violation means
+//                   a committed action bound to a replica that the view
+//                   database had excluded — lost-update territory.
+//   view-freshness  mid-run: the up, non-suspect members of St(A) span at
+//                   most two consecutive versions (one commit's phase-2
+//                   installs may be in flight; write locks serialise
+//                   commits per object). At quiescence: every member of
+//                   St(A) is up, non-suspect and holds exactly the
+//                   globally newest version — GetView ⊆ latest-state
+//                   holders (sec 4.2's correctness condition).
+//   view-nonempty   at quiescence St(A) is non-empty (the object's state
+//                   has not been excluded out of existence).
+//
+// Plus, at quiescence, system-wide:
+//
+//   use-list-balance  every Increment was matched by a Decrement or
+//                     purged: no use-list entries remain (sec 4.1.3).
+//   no-in-doubt       2PC left no shadow unresolved.
+//   conservation      caller-registered checks (e.g. money conservation
+//                     across bank accounts vs committed deltas).
+//
+// Quiescence is the caller's claim (nemeses stopped, partitions healed,
+// all nodes recovered, event queue drained); the auditor just applies the
+// stricter rules.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+
+namespace gv::core {
+
+struct AuditViolation {
+  sim::SimTime at = 0;
+  std::string invariant;
+  std::string detail;
+};
+
+class InvariantAuditor {
+ public:
+  explicit InvariantAuditor(ReplicaSystem& sys) : sys_(sys) {}
+
+  // Audit this object on every check.
+  void track(const Uid& uid) { tracked_.push_back(uid); }
+
+  // Quiescent-only predicate; returns a violation detail, or nullopt if
+  // the invariant holds.
+  using ConservationCheck = std::function<std::optional<std::string>()>;
+  void add_conservation_check(std::string name, ConservationCheck fn) {
+    conservation_.push_back({std::move(name), std::move(fn)});
+  }
+
+  // Arm a periodic mid-run audit. Like the janitor, the loop keeps the
+  // event queue non-empty: drive the sim with run_until(), or stop()
+  // before a draining run().
+  void start(sim::SimTime period = 500 * sim::kMillisecond);
+  void stop() noexcept { running_ = false; }
+
+  // Run all applicable invariants once; returns violations found by THIS
+  // call. `quiescent` enables the strict end-of-run rules.
+  std::size_t check_now(bool quiescent);
+
+  bool ok() const noexcept { return violations_.empty(); }
+  const std::vector<AuditViolation>& violations() const noexcept { return violations_; }
+  std::size_t checks_run() const noexcept { return checks_run_; }
+
+  // Human-readable violation list, one per line (empty when ok()).
+  std::string report() const;
+
+ private:
+  void check_object(const Uid& uid, bool quiescent);
+  void fail(std::string invariant, std::string detail);
+
+  ReplicaSystem& sys_;
+  std::vector<Uid> tracked_;
+  struct NamedCheck {
+    std::string name;
+    ConservationCheck fn;
+  };
+  std::vector<NamedCheck> conservation_;
+  bool running_ = false;
+  std::size_t checks_run_ = 0;
+  std::vector<AuditViolation> violations_;
+};
+
+}  // namespace gv::core

@@ -1,43 +1,14 @@
-// Failure injection for experiments: crash/recover nodes on exponential
-// schedules, deterministically from the simulation seed.
+// Compatibility aliases: ChaosMonkey grew into the composable nemesis
+// subsystem (core/nemesis.h). CrashNemesis keeps the exact RNG draw
+// pattern of the original, so crash schedules replay unchanged from the
+// same seed.
 #pragma once
 
-#include <vector>
-
-#include "sim/node.h"
-#include "sim/simulator.h"
-#include "util/rng.h"
-#include "util/stats.h"
+#include "core/nemesis.h"
 
 namespace gv::core {
 
-struct ChaosConfig {
-  // Mean time between failures / to repair, per victim node.
-  sim::SimTime mean_uptime = 2 * sim::kSecond;
-  sim::SimTime mean_downtime = 500 * sim::kMillisecond;
-  std::vector<sim::NodeId> victims;  // nodes eligible to crash
-};
-
-class ChaosMonkey {
- public:
-  ChaosMonkey(sim::Simulator& sim, sim::Cluster& cluster, ChaosConfig cfg)
-      : sim_(sim), cluster_(cluster), cfg_(std::move(cfg)), rng_(sim.rng().fork()) {}
-
-  // Arm one crash/recover loop per victim. Runs until stop().
-  void start();
-  void stop() noexcept { stopped_ = true; }
-
-  std::uint64_t crashes() const noexcept { return crashes_; }
-
- private:
-  sim::Task<> run_victim(sim::NodeId victim);
-
-  sim::Simulator& sim_;
-  sim::Cluster& cluster_;
-  ChaosConfig cfg_;
-  Rng rng_;
-  bool stopped_ = false;
-  std::uint64_t crashes_ = 0;
-};
+using ChaosConfig = CrashNemesisConfig;
+using ChaosMonkey = CrashNemesis;
 
 }  // namespace gv::core

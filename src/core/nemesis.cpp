@@ -1,0 +1,179 @@
+#include "core/nemesis.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gv::core {
+
+namespace {
+
+std::string fmt_time(sim::SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(t) / sim::kSecond);
+  return buf;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- crash/recover
+
+void CrashNemesis::start() {
+  for (sim::NodeId victim : cfg_.victims) sim_.spawn(run_victim(victim));
+}
+
+// Draw pattern kept identical to the original ChaosMonkey (one shared rng,
+// uptime then downtime per victim iteration) so existing experiments
+// replay the same crash schedules from the same seed.
+sim::Task<> CrashNemesis::run_victim(sim::NodeId victim) {
+  while (!stopped_) {
+    co_await sim_.sleep(static_cast<sim::SimTime>(
+        rng_.exponential(static_cast<double>(cfg_.mean_uptime)) + 1));
+    if (stopped_) co_return;
+    if (cluster_.node(victim).up()) {
+      cluster_.node(victim).crash();
+      ++crashes_;
+      record("node " + std::to_string(victim) + " crash");
+    }
+    co_await sim_.sleep(static_cast<sim::SimTime>(
+        rng_.exponential(static_cast<double>(cfg_.mean_downtime)) + 1));
+    if (stopped_) co_return;
+    cluster_.node(victim).recover();
+    record("node " + std::to_string(victim) + " recover");
+  }
+}
+
+// ----------------------------------------------------------- partition/heal
+
+void PartitionNemesis::start() { sim_.spawn(run()); }
+
+sim::Task<> PartitionNemesis::run() {
+  while (!stopped_) {
+    co_await sim_.sleep(static_cast<sim::SimTime>(
+        rng_.exponential(static_cast<double>(cfg_.mean_interval)) + 1));
+    if (stopped_ || cfg_.victims.empty()) co_return;
+
+    // Cut a random subset of victims off from everyone else.
+    std::vector<sim::NodeId> pool = cfg_.victims;
+    const std::size_t want = 1 + rng_.uniform(std::min(cfg_.max_minority, pool.size()));
+    std::vector<sim::NodeId> minority;
+    for (std::size_t i = 0; i < want && !pool.empty(); ++i) {
+      const std::size_t pick = rng_.uniform(pool.size());
+      minority.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    std::vector<sim::NodeId> majority;
+    for (sim::NodeId id = 0; id < cluster_.size(); ++id)
+      if (std::find(minority.begin(), minority.end(), id) == minority.end())
+        majority.push_back(id);
+
+    net_.partition(minority, majority);
+    ++partitions_;
+    std::string desc = "partition {";
+    for (std::size_t i = 0; i < minority.size(); ++i)
+      desc += (i ? "," : "") + std::to_string(minority[i]);
+    desc += "} | rest";
+    record(desc);
+
+    co_await sim_.sleep(static_cast<sim::SimTime>(
+        rng_.exponential(static_cast<double>(cfg_.mean_duration)) + 1));
+    // Heal even when stopped mid-partition: a nemesis never leaves the
+    // network wedged after the campaign tears it down.
+    net_.heal();
+    record("heal");
+    if (stopped_) co_return;
+  }
+}
+
+// ------------------------------------------------- loss/delay/duplication
+
+void NetChaosNemesis::start() { sim_.spawn(run()); }
+
+sim::Task<> NetChaosNemesis::run() {
+  while (!stopped_) {
+    co_await sim_.sleep(static_cast<sim::SimTime>(
+        rng_.exponential(static_cast<double>(cfg_.mean_interval)) + 1));
+    if (stopped_) co_return;
+
+    sim::NetConfig& net_cfg = net_.config();
+    const sim::NetConfig saved = net_cfg;
+    if (cfg_.burst_loss_prob > 0) net_cfg.loss_prob = cfg_.burst_loss_prob;
+    if (cfg_.burst_dup_prob > 0) net_cfg.dup_prob = cfg_.burst_dup_prob;
+    if (cfg_.burst_extra_jitter_us > 0) net_cfg.jitter_mean_us += cfg_.burst_extra_jitter_us;
+    ++bursts_;
+    char desc[96];
+    std::snprintf(desc, sizeof(desc), "net burst loss=%.2f dup=%.2f jitter=%.0fus",
+                  net_cfg.loss_prob, net_cfg.dup_prob, net_cfg.jitter_mean_us);
+    record(desc);
+
+    co_await sim_.sleep(static_cast<sim::SimTime>(
+        rng_.exponential(static_cast<double>(cfg_.mean_duration)) + 1));
+    net_cfg = saved;  // restore even when stopped mid-burst
+    record("net burst end");
+    if (stopped_) co_return;
+  }
+}
+
+// ----------------------------------------------------- stable-storage faults
+
+void StorageFaultNemesis::start() { sim_.spawn(run()); }
+
+sim::Task<> StorageFaultNemesis::run() {
+  while (!stopped_) {
+    co_await sim_.sleep(static_cast<sim::SimTime>(
+        rng_.exponential(static_cast<double>(cfg_.mean_interval)) + 1));
+    if (stopped_ || cfg_.victims.empty()) co_return;
+
+    // One victim store per burst; each burst gets a fresh fault-rng seed so
+    // the schedule depends only on this nemesis' stream.
+    const sim::NodeId victim = cfg_.victims[rng_.uniform(cfg_.victims.size())];
+    store_of_(victim).set_faults(cfg_.faults, rng_.next_u64());
+    ++bursts_;
+    char desc[96];
+    std::snprintf(desc, sizeof(desc), "store %u faults fail=%.2f torn=%.2f",
+                  static_cast<unsigned>(victim), cfg_.faults.fail_prepare_prob,
+                  cfg_.faults.torn_shadow_prob);
+    record(desc);
+
+    co_await sim_.sleep(static_cast<sim::SimTime>(
+        rng_.exponential(static_cast<double>(cfg_.mean_duration)) + 1));
+    store_of_(victim).clear_faults();  // clear even when stopped mid-burst
+    record("store " + std::to_string(victim) + " faults end");
+    if (stopped_) co_return;
+  }
+}
+
+// ------------------------------------------------------- scripted schedule
+
+void ScriptedNemesis::start() {
+  const sim::SimTime now = sim_.now();
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const sim::SimTime delay = steps_[i].at > now ? steps_[i].at - now : 0;
+    sim_.schedule(delay, [this, i] {
+      if (stopped_) return;
+      record(steps_[i].what);
+      steps_[i].action();
+    });
+  }
+}
+
+// ----------------------------------------------------------------- suite
+
+std::vector<NemesisEvent> NemesisSuite::schedule() const {
+  std::vector<NemesisEvent> all;
+  for (const auto& n : nemeses_)
+    for (const NemesisEvent& e : n->events())
+      all.push_back({e.at, "[" + n->name() + "] " + e.what});
+  std::stable_sort(all.begin(), all.end(),
+                   [](const NemesisEvent& a, const NemesisEvent& b) { return a.at < b.at; });
+  return all;
+}
+
+std::string NemesisSuite::dump() const {
+  std::string out;
+  for (const NemesisEvent& e : schedule()) {
+    out += "  " + fmt_time(e.at) + " " + e.what + "\n";
+  }
+  return out;
+}
+
+}  // namespace gv::core

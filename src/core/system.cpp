@@ -24,6 +24,9 @@ ReplicaSystem::ReplicaSystem(SystemConfig cfg)
     recovery_.push_back(std::make_unique<replication::RecoveryDaemon>(
         cluster_.node(id), fabric_->endpoint(id), *stores_.back(), naming_node(),
         hosts_.back().get()));
+    if (cfg_.start_store_reaper) stores_.back()->start_reaper(cfg_.store_reaper_period);
+    if (cfg_.start_view_probe && id != naming_node())
+      recovery_.back()->start_view_probe(cfg_.view_probe_period);
   }
 
   gvdb_ = std::make_unique<naming::GroupViewDb>(cluster_.node(naming_node()),

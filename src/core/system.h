@@ -60,6 +60,17 @@ struct SystemConfig {
   // simulation with run_until() (or janitor().stop() before run()).
   bool start_janitor = false;
   sim::SimTime janitor_period = 100 * sim::kMillisecond;
+  // Periodic loops below follow the same rule: off by default so plain
+  // run() drains; enable for chaos workloads driven with run_until().
+  // Orphan-shadow reaper on every store (presume abort for shadows whose
+  // coordinator died undecided).
+  bool start_store_reaper = false;
+  sim::SimTime store_reaper_period = 500 * sim::kMillisecond;
+  // Partition-heal view probe on every store node: notices this node was
+  // Excluded from an St while it stayed up (no crash, so the recovery
+  // hook never fired) and drives re-Include once the partition heals.
+  bool start_view_probe = false;
+  sim::SimTime view_probe_period = 500 * sim::kMillisecond;
 };
 
 class ReplicaSystem {

@@ -1,6 +1,7 @@
 #include "core/transaction.h"
 
 #include "core/system.h"
+#include "util/backoff.h"
 
 namespace gv::core {
 
@@ -114,9 +115,20 @@ sim::Task<Status> Transaction::abort() {
 
 sim::Task<> Transaction::release_use_lists() {
   // Fig 7: the Decrement runs as its own top-level action AFTER the
-  // client action has terminated (commit or abort alike).
-  for (auto& [uid, binding] : bindings_)
-    (void)co_await session_.activator().binder().unbind(uid, binding.bind);
+  // client action has terminated (commit or abort alike). Retry a few
+  // times: a transiently-lost Decrement from a LIVE client leaks a
+  // use-list counter forever, since the janitor only purges dead
+  // clients (found by the gv_campaign netchaos mix).
+  for (auto& [uid, binding] : bindings_) {
+    Backoff pace{BackoffConfig{50 * sim::kMillisecond, 400 * sim::kMillisecond},
+                 session_.runtime().endpoint().rng().fork()};
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      Status s = co_await session_.activator().binder().unbind(uid, binding.bind);
+      if (s.ok()) break;
+      session_.counters().inc("session.unbind_retry");
+      co_await session_.runtime().endpoint().node().sim().sleep(pace.next());
+    }
+  }
 }
 
 }  // namespace gv::core

@@ -1,5 +1,6 @@
 #include "naming/db_base.h"
 
+#include "actions/coordinator_log.h"
 #include "util/log.h"
 
 namespace gv::naming {
@@ -46,6 +47,34 @@ sim::Task<std::uint32_t> NamingDbBase::sweep_orphans() {
   for (const auto& [action, owner] : snapshot) {
     if (!node_.up() || node_.epoch() != my_epoch) co_return aborted;
     if (owners_.find(action) == owners_.end()) continue;  // finished meanwhile
+    // Ask the coordinator FIRST, for every tracked action: an action can
+    // look orphaned here merely because its phase-2 RPC was lost in
+    // transit, and a decided outcome is safe to apply at any age — doing
+    // so immediately keeps a lost phase-2 from wedging the entry lock
+    // for the full orphan-age window (found by the gv_campaign netchaos
+    // mix). A dead coordinator node answers nothing and we fall through
+    // to the presumed abort, which is then correct (Gray's blocking
+    // case: the decision, if any, died with the volatile log).
+    auto outcome = co_await actions::CoordinatorLog::remote_outcome(endpoint_, owner.node, action);
+    if (owners_.find(action) == owners_.end()) continue;  // raced a real phase-2
+    if (outcome.ok() && outcome.value() == actions::TxnOutcome::Committed) {
+      (void)co_await commit(action);
+      counters_.inc("db.orphan_committed");
+      continue;
+    }
+    if (outcome.ok() && outcome.value() == actions::TxnOutcome::Aborted) {
+      rollback(action);
+      locks_.release_all(action);
+      owners_.erase(action);
+      ++aborted;
+      counters_.inc("db.orphan_decided_abort");
+      continue;
+    }
+    // Unknown outcome: the action may simply still be running (or its
+    // owner keeps no coordinator log). Presume abort only once it
+    // outlives any plausible action lifetime, or its owner (the client
+    // process or its whole node) is provably gone — a failed outcome
+    // call is NOT proof, so liveness comes from a ping.
     const bool aged = node_.sim().now() - owner.last_seen > cfg_.orphan_action_age;
     bool dead = false;
     if (!aged) {
@@ -54,8 +83,6 @@ sim::Task<std::uint32_t> NamingDbBase::sweep_orphans() {
       dead = !ping.ok();
     }
     if (!aged && !dead) continue;
-    // Presumed abort: the client process (or its whole node) is gone —
-    // or it outlived any plausible action lifetime. Roll back locally.
     auto it = owners_.find(action);
     if (it == owners_.end()) continue;
     rollback(action);

@@ -49,6 +49,11 @@ sim::Task<std::uint32_t> UseListJanitor::sweep() {
       (void)co_await act.abort();
     }
   }
+  // Also sweep orphaned actions: an action whose phase-2 RPC was lost
+  // holds locks and buffered mutations here with nothing else left to
+  // trigger resolution (sweep_orphans consults the coordinator before
+  // presuming abort).
+  (void)co_await db_.sweep_orphans();
   co_return purged_total;
 }
 

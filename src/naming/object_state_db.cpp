@@ -173,6 +173,17 @@ void ObjectStateDb::register_rpc(rpc::RpcEndpoint& endpoint) {
         if (!s.ok()) co_return s.error();
         co_return Buffer{};
       });
+  endpoint.register_method(kOstdbService, "peek",
+                           [this](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+                             auto object = args.unpack_uid();
+                             if (!object.ok()) co_return Err::BadRequest;
+                             if (!known(object.value())) co_return Err::NotFound;
+                             const std::vector<NodeId> st = peek(object.value());
+                             Buffer out;
+                             out.pack_u32_vector(
+                                 std::vector<std::uint32_t>(st.begin(), st.end()));
+                             co_return out;
+                           });
   endpoint.register_method(kOstdbService, "include",
                            [this](NodeId from, Buffer args) -> sim::Task<Result<Buffer>> {
                              auto object = args.unpack_uid();
@@ -222,6 +233,17 @@ sim::Task<Status> ostdb_include(rpc::RpcEndpoint& ep, NodeId naming_node, Uid ob
   auto r = co_await ep.call(naming_node, kOstdbService, "include", std::move(args));
   if (!r.ok()) co_return r.error();
   co_return ok_status();
+}
+
+sim::Task<Result<std::vector<NodeId>>> ostdb_peek(rpc::RpcEndpoint& ep, NodeId naming_node,
+                                                  Uid object) {
+  Buffer args;
+  args.pack_uid(object);
+  auto r = co_await ep.call(naming_node, kOstdbService, "peek", std::move(args));
+  if (!r.ok()) co_return r.error();
+  auto st = r.value().unpack_u32_vector();
+  if (!st.ok()) co_return Err::BadRequest;
+  co_return std::vector<NodeId>(st.value().begin(), st.value().end());
 }
 
 }  // namespace gv::naming

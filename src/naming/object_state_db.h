@@ -55,6 +55,9 @@ class ObjectStateDb final : public NamingDbBase {
   sim::Task<Status> include(Uid object, NodeId host, Uid action);
 
   // Direct peek for recovery daemons / assertions (no lock, no action).
+  // Also exported as the lock-free "peek" RPC so a store partitioned away
+  // (excluded while alive) can notice its own absence from St after the
+  // partition heals and trigger re-Include without a crash/recovery cycle.
   std::vector<NodeId> peek(const Uid& object) const;
 
   ExcludePolicy policy() const noexcept { return policy_; }
@@ -82,5 +85,9 @@ sim::Task<Status> ostdb_exclude(rpc::RpcEndpoint& ep, NodeId naming_node,
                                 std::vector<ExcludeItem> items, Uid action);
 sim::Task<Status> ostdb_include(rpc::RpcEndpoint& ep, NodeId naming_node, Uid object, NodeId host,
                                 Uid action);
+// Lock-free St(A) snapshot (no action, no lock): advisory only — may be
+// stale the instant it returns. Used by the partition-heal view probe.
+sim::Task<Result<std::vector<NodeId>>> ostdb_peek(rpc::RpcEndpoint& ep, NodeId naming_node,
+                                                  Uid object);
 
 }  // namespace gv::naming

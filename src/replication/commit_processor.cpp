@@ -54,7 +54,16 @@ sim::Task<Status> CommitProcessor::stage_object(actions::AtomicAction& action,
     auto r = co_await objsrv_state_for_commit(rt_.endpoint(), server, binding.spec.uid,
                                               action.uid());
     if (r.ok()) {
-      if (!state.ok()) state = std::move(r);
+      // Take the FRESHEST replica, not the first to answer: a member that
+      // missed a best-effort mark_committed (or a whole phase-2) reports a
+      // stale version, and staging from it computes a new_version the
+      // stores already hold — the install silently no-ops and the commit
+      // is lost (found by the gv_campaign netchaos mix).
+      const bool fresher =
+          !state.ok() || r.value().version > state.value().version ||
+          (r.value().version == state.value().version && r.value().modified &&
+           !state.value().modified);
+      if (fresher) state = std::move(r);
     } else {
       counters_.inc("commit.server_unreachable");
       action.delist({server, kObjSrvService});
@@ -74,9 +83,13 @@ sim::Task<Status> CommitProcessor::stage_object(actions::AtomicAction& action,
   // 3. Copy (prepare) the new state to every store in St(A).
   std::vector<NodeId> copied, failed;
   for (NodeId st : binding.st) {
+    // The client node coordinates this 2PC: record it with the shadow so
+    // a store left holding an undecided slot (crash, or a lost phase-2
+    // RPC) can ask the coordinator log for the outcome instead of
+    // presuming abort.
     Status s = co_await store::ObjectStore::remote_prepare(
         rt_.endpoint(), st, binding.spec.uid, action.uid(), new_version,
-        state.value().snapshot);
+        state.value().snapshot, rt_.endpoint().node_id());
     if (s.ok()) {
       copied.push_back(st);
       counters_.inc("commit.state_copied");

@@ -1,5 +1,6 @@
 #include "replication/object_server.h"
 
+#include "actions/coordinator_log.h"
 #include "util/log.h"
 
 namespace gv::replication {
@@ -17,6 +18,7 @@ ObjectServerHost::ObjectServerHost(sim::Node& node, rpc::RpcEndpoint& endpoint,
     // states live in the stores.
     active_.clear();
     terminated_.clear();
+    owners_.clear();
     locks_.reset();
   });
 }
@@ -47,6 +49,9 @@ sim::Task<Status> ObjectServerHost::activate(Uid object, std::string class_name,
     a.class_name = std::move(class_name);
     a.obj = std::move(obj);
     a.version = r.value().version;
+    GV_LOG(LogLevel::Debug, node_.sim().now(), "objsrv",
+           "node %u activate %s v%llu from store %u", node_.id(), object.to_string().c_str(),
+           static_cast<unsigned long long>(a.version), st);
     active_.emplace(object, std::move(a));
     counters_.inc("objsrv.activated");
     co_return ok_status();
@@ -79,14 +84,18 @@ ObjectStatus ObjectServerHost::status(const Uid& object) const {
 sim::Task<Result<Buffer>> ObjectServerHost::invoke(Uid object, Uid action,
                                                    std::vector<Uid> ancestors,
                                                    actions::LockMode mode, std::string op,
-                                                   Buffer args) {
+                                                   Buffer args, NodeId owner) {
   auto it = active_.find(object);
   if (it == active_.end()) co_return Err::NotFound;  // passive: activate first
   if (terminated_.count(action) > 0) co_return Err::Aborted;
+  if (owner != sim::kNoNode) note_owner(action, owner);
   Status lk = co_await locks_.acquire(lock_name(object), mode, action, kInvokeLockWait,
                                       std::move(ancestors));
   if (!lk.ok()) {
     counters_.inc("objsrv.lock_refused");
+    // The holder may be an action whose phase-2 never reached this node;
+    // resolve it via its coordinator so the lock cannot wedge forever.
+    trigger_orphan_sweep();
     co_return lk.error();
   }
   // Re-check after the wait: the object may have been passivated, or the
@@ -132,16 +141,48 @@ Result<ObjectServerHost::StateForCommit> ObjectServerHost::state_for_commit(
     const Uid& object, const Uid& txn) const {
   auto it = active_.find(object);
   if (it == active_.end()) return Err::NotFound;
+  // Refuse to testify while ANOTHER action's write is pending here. Under
+  // correct locking that cannot happen for a live competitor (txn could
+  // not have invoked the object) — it means an action whose phase-2 never
+  // arrived still wedges this replica, so our state may be missing ops
+  // the rest of the group applied. Answering "v, unmodified" would let
+  // the commit processor stage a stale snapshot or skip the copy-back
+  // entirely (lost update, found by the gv_campaign netchaos mix); an
+  // error makes it delist us instead, like an unreachable member.
+  for (const auto& [holder, img] : it->second.before)
+    if (holder != txn) return Err::Inconsistent;
+  for (const Uid& writer : it->second.modified_by)
+    if (writer != txn) return Err::Inconsistent;
   StateForCommit out;
   out.version = it->second.version;
   out.modified = it->second.modified_by.count(txn) > 0;
   out.snapshot = it->second.obj->snapshot();
+  GV_LOG(LogLevel::Debug, node_.sim().now(), "objsrv",
+         "node %u state_for_commit %s v%llu modified=%d", node_.id(),
+         object.to_string().c_str(), static_cast<unsigned long long>(out.version),
+         out.modified ? 1 : 0);
   return out;
 }
 
 void ObjectServerHost::mark_committed(const Uid& object, std::uint64_t new_version) {
   auto it = active_.find(object);
-  if (it != active_.end() && it->second.version < new_version) it->second.version = new_version;
+  if (it == active_.end() || it->second.version >= new_version) return;
+  // A lower version here means this replica MISSED an update the group
+  // committed (e.g. it was down at delivery time and dropped from the
+  // delivery view): its state does not derive from the committed
+  // snapshot. Fast-forwarding the version number would launder that
+  // divergence — the replica would then tie on version with correct
+  // members and could win commit staging, silently dropping the missed
+  // update (found by the gv_campaign everything mix). Retire it instead,
+  // so the next activation reloads authoritative state from a store;
+  // keep it only while other actions still have undo state here, in
+  // which case the state_for_commit consistency check quarantines it.
+  if (it->second.before.empty() && it->second.modified_by.empty()) {
+    active_.erase(it);
+    counters_.inc("objsrv.stale_retired");
+  } else {
+    counters_.inc("objsrv.stale_busy");
+  }
 }
 
 Status ObjectServerHost::passivate(const Uid& object) {
@@ -162,8 +203,15 @@ sim::Task<Status> ObjectServerHost::commit(const Uid& txn) {
   terminated_.insert(txn);
   for (auto& [uid, a] : active_) {
     a.before.erase(txn);
-    a.modified_by.erase(txn);
+    // Advance the version here, not only via the best-effort
+    // mark_committed that follows: a member that misses that RPC would
+    // otherwise keep applied state under a stale version forever. The
+    // staged version is always >= this (max responding version + 1): the
+    // freshest member lands exactly on it, and a staler member stays
+    // below and is retired by the mark_committed that follows.
+    if (a.modified_by.erase(txn) > 0) ++a.version;
   }
+  owners_.erase(txn);
   locks_.release_all(txn);
   counters_.inc("objsrv.txn_commit");
   co_return ok_status();
@@ -180,9 +228,75 @@ sim::Task<Status> ObjectServerHost::abort(const Uid& txn) {
     }
     a.modified_by.erase(txn);
   }
+  owners_.erase(txn);
   locks_.release_all(txn);
   counters_.inc("objsrv.txn_abort");
   co_return ok_status();
+}
+
+// ------------------------------------------------ orphaned-action resolution
+
+void ObjectServerHost::note_owner(const Uid& action, NodeId owner) {
+  auto& rec = owners_[action];
+  rec.node = owner;
+  rec.last_seen = node_.sim().now();
+}
+
+void ObjectServerHost::trigger_orphan_sweep() {
+  if (orphan_sweep_running_) return;
+  orphan_sweep_running_ = true;
+  node_.sim().spawn([](ObjectServerHost& self) -> sim::Task<> {
+    co_await self.sweep_orphan_actions();
+    self.orphan_sweep_running_ = false;
+  }(*this));
+}
+
+sim::Task<> ObjectServerHost::sweep_orphan_actions() {
+  counters_.inc("objsrv.orphan_sweep");
+  std::vector<std::pair<Uid, ActionOwner>> snapshot(owners_.begin(), owners_.end());
+  const std::uint64_t my_epoch = node_.epoch();
+  for (const auto& [action, owner] : snapshot) {
+    if (!node_.up() || node_.epoch() != my_epoch) co_return;
+    if (owners_.find(action) == owners_.end()) continue;  // terminated meanwhile
+    auto outcome =
+        co_await actions::CoordinatorLog::remote_outcome(endpoint_, owner.node, action);
+    if (owners_.find(action) == owners_.end()) continue;  // raced a real phase-2
+    const bool committed = outcome.ok() && outcome.value() == actions::TxnOutcome::Committed;
+    const bool aborted = outcome.ok() && outcome.value() == actions::TxnOutcome::Aborted;
+    // A decided outcome is safe to apply at any age. Presume abort only
+    // for an action that outlived any plausible lifetime or whose owner
+    // node is provably down (a failed outcome call is not proof — the
+    // owner may simply keep no coordinator log); an Unknown from a live
+    // owner means the action is still running.
+    const bool aged = node_.sim().now() - owner.last_seen >= kOrphanActionAge;
+    bool owner_dead = false;
+    if (!committed && !aborted && !aged) {
+      auto ping = co_await endpoint_.call(owner.node, "sys", "ping", Buffer{},
+                                          20 * sim::kMillisecond);
+      owner_dead = !ping.ok();
+      if (owners_.find(action) == owners_.end()) continue;  // raced a phase-2
+    }
+    if (!committed && !aborted && !(owner_dead || aged)) continue;
+    // Objects this action wrote are suspect regardless of outcome: the
+    // replica may have missed the action's effects (or earlier version
+    // bumps) while wedged. Collect them before the cleanup erases the
+    // traces, then retire them so the next activation reloads committed
+    // state from a store.
+    std::vector<Uid> touched;
+    for (const auto& [uid, a] : active_)
+      if (a.before.count(action) > 0 || a.modified_by.count(action) > 0) touched.push_back(uid);
+    if (committed) {
+      (void)co_await commit(action);
+      counters_.inc("objsrv.orphan_committed");
+    } else {
+      (void)co_await abort(action);
+      counters_.inc(aborted ? "objsrv.orphan_aborted" : "objsrv.orphan_presumed_abort");
+    }
+    for (const Uid& uid : touched) {
+      active_.erase(uid);
+      counters_.inc("objsrv.orphan_retired");
+    }
+  }
 }
 
 void ObjectServerHost::nested_commit(const Uid& child, const Uid& parent) {
@@ -235,7 +349,7 @@ void ObjectServerHost::on_group_deliver(NodeId, Buffer msg) {
                        Uid action, std::vector<Uid> ancestors, actions::LockMode mode,
                        std::string op, Buffer args) -> sim::Task<> {
     Result<Buffer> r = co_await self.invoke(object, action, std::move(ancestors), mode,
-                                            std::move(op), std::move(args));
+                                            std::move(op), std::move(args), reply_to);
     Buffer reply;
     reply.pack_u64(inv);
     reply.pack_u32(static_cast<std::uint32_t>(r.ok() ? Err::None : r.error()));
@@ -262,7 +376,7 @@ void ObjectServerHost::register_rpc() {
         co_return Buffer{};
       });
   endpoint_.register_method(
-      kObjSrvService, "invoke", [this](NodeId, Buffer a) -> sim::Task<Result<Buffer>> {
+      kObjSrvService, "invoke", [this](NodeId from, Buffer a) -> sim::Task<Result<Buffer>> {
         auto object = a.unpack_uid();
         auto action = a.unpack_uid();
         auto ancestors = a.unpack_uid_vector();
@@ -274,7 +388,7 @@ void ObjectServerHost::register_rpc() {
           co_return Err::BadRequest;
         co_return co_await invoke(object.value(), action.value(), std::move(ancestors).value(),
                                   static_cast<actions::LockMode>(mode.value()),
-                                  std::move(op).value(), std::move(args).value());
+                                  std::move(op).value(), std::move(args).value(), from);
       });
   endpoint_.register_method(
       kObjSrvService, "state_for_commit", [this](NodeId, Buffer a) -> sim::Task<Result<Buffer>> {

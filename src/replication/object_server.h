@@ -79,8 +79,13 @@ class ObjectServerHost final : public actions::ServerParticipant {
   // Apply `op` under `mode` lock owned by `action`. `ancestors` is the
   // action's enclosing chain (outermost last) for Arjuna lock
   // inheritance: a nested action may acquire locks its ancestors hold.
+  // `owner` is the client node coordinating `action` (kNoNode when
+  // unknown); it is recorded so an action whose phase-2 never arrives
+  // here can be resolved against the coordinator log instead of wedging
+  // the object's lock forever.
   sim::Task<Result<Buffer>> invoke(Uid object, Uid action, std::vector<Uid> ancestors,
-                                   actions::LockMode mode, std::string op, Buffer args);
+                                   actions::LockMode mode, std::string op, Buffer args,
+                                   NodeId owner = sim::kNoNode);
 
   // Commit processing support: current state + whether `txn` modified it.
   struct StateForCommit {
@@ -133,6 +138,24 @@ class ObjectServerHost final : public actions::ServerParticipant {
   void on_group_deliver(NodeId from, Buffer msg);
   void register_rpc();
 
+  // ---- orphaned-action resolution ---------------------------------------
+  // A server delisted from a commit (unreachable during the probe) or one
+  // whose phase-2 RPC was lost never learns the action terminated: the
+  // action's write lock wedges the object and the replica silently
+  // diverges from the group. The sweep — triggered lazily whenever a lock
+  // wait times out — asks each stale action's coordinator for the outcome,
+  // applies it locally, and RETIRES the touched replicas (drops them from
+  // active_) so the next activation reloads authoritative state from a
+  // store (the paper's recover-by-state-transfer rule).
+  struct ActionOwner {
+    NodeId node = sim::kNoNode;
+    sim::SimTime last_seen = 0;
+  };
+  static constexpr sim::SimTime kOrphanActionAge = 1 * sim::kSecond;
+  void note_owner(const Uid& action, NodeId owner);
+  void trigger_orphan_sweep();
+  sim::Task<> sweep_orphan_actions();
+
   sim::Node& node_;
   rpc::RpcEndpoint& endpoint_;
   rpc::GroupComm& gc_;
@@ -144,6 +167,8 @@ class ObjectServerHost final : public actions::ServerParticipant {
   // aborted) must be refused, not applied under a dead action.
   std::set<Uid> terminated_;  // volatile
   std::set<Uid> activation_blocked_;  // volatile; managed by RecoveryDaemon
+  std::map<Uid, ActionOwner> owners_;  // volatile; coordinator node per live action
+  bool orphan_sweep_running_ = false;
   Counters counters_;
 };
 

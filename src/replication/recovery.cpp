@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/backoff.h"
 #include "util/log.h"
 
 namespace gv::replication {
@@ -31,7 +32,11 @@ sim::Task<> RecoveryDaemon::repair_loop(std::uint64_t epoch) {
   // Keep repairing until everything local is validated and this node is
   // re-admitted as a server — transient failures (contended entry locks,
   // unreachable peers, non-quiescent objects) resolve with time. Bounded
-  // so the event queue always drains.
+  // so the event queue always drains. Jittered backoff between passes:
+  // several nodes recovering from the same crash burst would otherwise
+  // hit the naming node in lockstep on every pass.
+  Backoff pace{BackoffConfig{100 * sim::kMillisecond, 2 * sim::kSecond},
+               endpoint_.rng().fork()};
   for (int attempt = 0; attempt < 100; ++attempt) {
     if (!node_.up() || node_.epoch() != epoch) co_return;
     (void)co_await repair();
@@ -39,14 +44,61 @@ sim::Task<> RecoveryDaemon::repair_loop(std::uint64_t epoch) {
     const bool clean =
         store_.suspect_objects().empty() && reinserted_.size() == serves_.size();
     if (clean) co_return;
-    co_await node_.sim().sleep(250 * sim::kMillisecond);
+    co_await node_.sim().sleep(pace.next());
   }
   counters_.inc("recovery.gave_up");
+}
+
+sim::Task<std::uint32_t> RecoveryDaemon::probe_views() {
+  std::uint32_t demoted = 0;
+  for (const Uid& object : store_.local_objects()) {
+    if (!node_.up()) co_return demoted;
+    if (store_.suspect(object)) continue;  // already in the repair pipeline
+    auto st = co_await naming::ostdb_peek(endpoint_, naming_node_, object);
+    if (!st.ok()) continue;  // naming node unreachable; probe again later
+    const bool member =
+        std::find(st.value().begin(), st.value().end(), node_.id()) != st.value().end();
+    if (member) continue;
+    // Excluded while alive (partition, transient unreachability). Demote
+    // to SUSPECT — the store stops serving the possibly-stale state — and
+    // let the standard repair path validate, refresh, and re-Include.
+    store_.mark_suspect(object);
+    counters_.inc("recovery.probe_demoted");
+    ++demoted;
+  }
+  // Repair whenever anything is suspect — this pass's demotions AND
+  // leftovers from an earlier pass that could not re-Include yet (e.g.
+  // the partition had not healed); those are skipped above as already
+  // suspect and would otherwise never be retried.
+  if (node_.up() && !store_.suspect_objects().empty()) (void)co_await repair();
+  co_return demoted;
+}
+
+void RecoveryDaemon::start_view_probe(sim::SimTime period) {
+  if (view_probe_running_) return;
+  view_probe_running_ = true;
+  node_.sim().spawn(view_probe_loop(node_.epoch(), period));
+  node_.on_recover([this, period] {
+    if (view_probe_running_) node_.sim().spawn(view_probe_loop(node_.epoch(), period));
+  });
+}
+
+sim::Task<> RecoveryDaemon::view_probe_loop(std::uint64_t epoch, sim::SimTime period) {
+  while (view_probe_running_ && node_.up() && node_.epoch() == epoch) {
+    co_await node_.sim().sleep(period);
+    if (!view_probe_running_ || !node_.up() || node_.epoch() != epoch) co_return;
+    (void)co_await probe_views();
+  }
 }
 
 sim::Task<std::uint32_t> RecoveryDaemon::repair() {
   counters_.inc("recovery.pass");
   std::uint32_t refreshed = 0;
+
+  // Presume abort for aged orphan shadows up front: the pending-shadow
+  // guard below must not wait forever on a shadow whose coordinator died
+  // before deciding (in-doubt shadows are exempt inside the reaper).
+  (void)store_.reap_orphan_shadows(kOrphanShadowAge);
 
   // Store role: validate / refresh each suspect object.
   for (const Uid& object : store_.suspect_objects()) {
@@ -68,20 +120,22 @@ sim::Task<std::uint32_t> RecoveryDaemon::repair() {
 }
 
 // Scan the given St members for the highest committed version held by a
-// reachable peer. Returns (version, node) — node == kNoNode if none.
-sim::Task<std::pair<std::uint64_t, NodeId>> RecoveryDaemon::best_peer_version(
-    const Uid& object, const std::vector<NodeId>& st) {
-  std::uint64_t best_version = 0;
-  NodeId best_node = sim::kNoNode;
+// reachable peer; node == kNoNode if none reachable. Also reports whether
+// any reachable peer holds a pending shadow for the object.
+sim::Task<RecoveryDaemon::PeerScan> RecoveryDaemon::scan_peers(const Uid& object,
+                                                               const std::vector<NodeId>& st) {
+  PeerScan scan;
   for (NodeId peer : st) {
     if (peer == node_.id()) continue;
-    auto v = co_await store::ObjectStore::remote_version(endpoint_, peer, object);
-    if (v.ok() && v.value() > best_version) {
-      best_version = v.value();
-      best_node = peer;
+    auto p = co_await store::ObjectStore::remote_probe(endpoint_, peer, object);
+    if (!p.ok()) continue;
+    if (p.value().pending) scan.pending = true;
+    if (p.value().version > scan.version) {
+      scan.version = p.value().version;
+      scan.node = peer;
     }
   }
-  co_return std::make_pair(best_version, best_node);
+  co_return scan;
 }
 
 sim::Task<bool> RecoveryDaemon::repair_store_object(const Uid& object) {
@@ -99,13 +153,24 @@ sim::Task<bool> RecoveryDaemon::repair_store_object(const Uid& object) {
       std::find(st.value().begin(), st.value().end(), self) != st.value().end();
   bool refreshed = false;
 
+  // A pending shadow — ours or a reachable peer's — means the object's
+  // next version may be DECIDED but not yet installed: 2PC phase 2
+  // releases the naming-database locks before the store installs land, so
+  // a version scan in that window reads committed versions that are
+  // already superseded. Validating against them once re-admitted a stale
+  // state that a later commit built on (a committed withdrawal was
+  // silently overwritten). Back off and retry once the installs settle.
+  if (store_.has_pending_shadow(object)) {
+    (void)co_await act.abort();
+    counters_.inc("recovery.pending_commit_wait");
+    co_return false;
+  }
+
   if (!member) {
     // We were excluded: re-admission is the delicate step. Take the
     // Include write lock FIRST — it conflicts with the read locks every
     // committing action holds on the St entry, so once granted no commit
-    // is in flight and none can start until we finish. Only then is a
-    // version scan + refresh race-free; refreshing before the lock could
-    // admit a state that a concurrent commit has just superseded.
+    // is in the deciding phase and none can start until we finish.
     Status inc = co_await naming::ostdb_include(endpoint_, naming_node_, object, self, act.uid());
     if (!inc.ok()) {
       (void)co_await act.abort();
@@ -113,16 +178,21 @@ sim::Task<bool> RecoveryDaemon::repair_store_object(const Uid& object) {
       co_return false;  // stays suspect; retried on the next pass
     }
 
-    auto [best_version, best_node] = co_await best_peer_version(object, st.value());
-    if (best_node == sim::kNoNode) {
+    PeerScan scan = co_await scan_peers(object, st.value());
+    if (scan.pending) {
+      (void)co_await act.abort();
+      counters_.inc("recovery.pending_commit_wait");
+      co_return false;
+    }
+    if (scan.node == sim::kNoNode) {
       // Nobody reachable holds a current state: we cannot prove our copy
       // is the latest. Abort the Include and stay suspect.
       (void)co_await act.abort();
       counters_.inc("recovery.no_peer");
       co_return false;
     }
-    if (best_version > store_.version(object).value_or(0)) {
-      auto latest = co_await store::ObjectStore::remote_read(endpoint_, best_node, object);
+    if (scan.version > store_.version(object).value_or(0)) {
+      auto latest = co_await store::ObjectStore::remote_read(endpoint_, scan.node, object);
       if (!latest.ok()) {
         (void)co_await act.abort();
         counters_.inc("recovery.refresh_failed");
@@ -138,9 +208,14 @@ sim::Task<bool> RecoveryDaemon::repair_store_object(const Uid& object) {
     // Still a member: any in-flight commit's copy set includes us (its
     // GetView read the entry with us present), so we only need to catch
     // up on anything committed while we were down.
-    auto [best_version, best_node] = co_await best_peer_version(object, st.value());
-    if (best_node != sim::kNoNode && best_version > store_.version(object).value_or(0)) {
-      auto latest = co_await store::ObjectStore::remote_read(endpoint_, best_node, object);
+    PeerScan scan = co_await scan_peers(object, st.value());
+    if (scan.pending) {
+      (void)co_await act.abort();
+      counters_.inc("recovery.pending_commit_wait");
+      co_return false;
+    }
+    if (scan.node != sim::kNoNode && scan.version > store_.version(object).value_or(0)) {
+      auto latest = co_await store::ObjectStore::remote_read(endpoint_, scan.node, object);
       if (!latest.ok()) {
         (void)co_await act.abort();
         counters_.inc("recovery.refresh_failed");
@@ -158,6 +233,10 @@ sim::Task<bool> RecoveryDaemon::repair_store_object(const Uid& object) {
     counters_.inc("recovery.commit_failed");
     co_return false;
   }
+  GV_LOG(LogLevel::Debug, node_.sim().now(), "recovery",
+         "node %u validated %s member=%d refreshed=%d v%llu", node_.id(),
+         object.to_string().c_str(), member ? 1 : 0, refreshed ? 1 : 0,
+         static_cast<unsigned long long>(store_.version(object).value_or(0)));
   store_.clear_suspect(object);
   counters_.inc("recovery.validated");
   co_return refreshed;

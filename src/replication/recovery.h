@@ -55,15 +55,44 @@ class RecoveryDaemon {
   // refreshed from peers.
   sim::Task<std::uint32_t> repair();
 
+  // Partition-liveness probe (DESIGN.md sec 8 gap): a store that never
+  // crashed but was partitioned away gets Excluded from St(A) by
+  // committing clients, and nothing would ever re-Include it — the
+  // recovery hook only fires on crash/recovery. probe_views() peeks St
+  // for every locally stored, non-suspect object; if this node has been
+  // excluded, the object is demoted to SUSPECT and a repair pass runs the
+  // normal validate-and-Include path. Returns the number of objects
+  // demoted. start_view_probe arms a periodic probe (epoch-guarded, like
+  // the reaper it re-arms on recovery and keeps the event queue
+  // non-empty; stop with stop_view_probe).
+  sim::Task<std::uint32_t> probe_views();
+  void start_view_probe(sim::SimTime period = 500 * sim::kMillisecond);
+  void stop_view_probe() noexcept { view_probe_running_ = false; }
+
   Counters& counters() noexcept { return counters_; }
 
  private:
-  sim::Task<std::pair<std::uint64_t, NodeId>> best_peer_version(const Uid& object,
-                                                                const std::vector<NodeId>& st);
+  // Result of scanning the St members for the newest committed state.
+  // `pending` is the critical bit: some reachable peer holds a shadow for
+  // the object, i.e. the next version may be decided-but-not-installed
+  // (2PC phase 2 in flight). Validating against committed versions in
+  // that window re-admitted stale states — see the lost-update race note
+  // in repair_store_object.
+  struct PeerScan {
+    std::uint64_t version = 0;
+    NodeId node = sim::kNoNode;
+    bool pending = false;
+  };
+  sim::Task<PeerScan> scan_peers(const Uid& object, const std::vector<NodeId>& st);
+
+  // Orphan shadows older than this are presumed aborted at the start of a
+  // repair pass (matches ObjectStore::start_reaper's default min_age).
+  static constexpr sim::SimTime kOrphanShadowAge = 2 * sim::kSecond;
   sim::Task<bool> repair_store_object(const Uid& object);
   sim::Task<bool> reinsert_server(const Uid& object);
 
   sim::Task<> repair_loop(std::uint64_t epoch);
+  sim::Task<> view_probe_loop(std::uint64_t epoch, sim::SimTime period);
 
   sim::Node& node_;
   rpc::RpcEndpoint& endpoint_;
@@ -73,6 +102,7 @@ class RecoveryDaemon {
   actions::ActionRuntime runtime_;
   std::set<Uid> serves_;      // stable config: objects this node can serve
   std::set<Uid> reinserted_;  // volatile: Insert done this incarnation
+  bool view_probe_running_ = false;
   Counters counters_;
 };
 

@@ -1,5 +1,7 @@
 #include "rpc/rpc.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 
 namespace gv::rpc {
@@ -10,7 +12,7 @@ constexpr std::uint8_t kKindReply = 1;
 }  // namespace
 
 RpcEndpoint::RpcEndpoint(sim::Node& node, sim::Network& net, RpcConfig cfg)
-    : node_(node), net_(net), cfg_(cfg) {
+    : node_(node), net_(net), cfg_(cfg), rng_(node.sim().rng().fork()) {
   net_.register_handler(node_.id(), [this](NodeId from, Buffer msg) { on_message(from, msg); });
 
   // Built-in bind/ping service: returns the current incarnation epoch.
@@ -26,7 +28,31 @@ RpcEndpoint::RpcEndpoint(sim::Node& node, sim::Network& net, RpcConfig cfg)
   node_.on_crash([this] {
     for (auto& [id, entry] : outstanding_) node_.sim().cancel(entry.second);
     outstanding_.clear();
+    dedup_.clear();
   });
+}
+
+bool RpcEndpoint::first_delivery(NodeId from, std::uint64_t req_id) {
+  DedupWindow& w = dedup_[from];
+  if (req_id <= w.watermark) return false;
+  if (!w.seen.insert(req_id).second) return false;
+  // Bound memory: once the window grows, advance the watermark past the
+  // oldest ids. req_ids are monotone per sender, so anything that old can
+  // only be a duplicate.
+  constexpr std::size_t kWindow = 1024;
+  if (w.seen.size() > 2 * kWindow) {
+    std::uint64_t max_seen = 0;
+    for (std::uint64_t id : w.seen) max_seen = std::max(max_seen, id);
+    const std::uint64_t new_watermark = max_seen > kWindow ? max_seen - kWindow : 0;
+    for (auto it = w.seen.begin(); it != w.seen.end();) {
+      if (*it <= new_watermark)
+        it = w.seen.erase(it);
+      else
+        ++it;
+    }
+    w.watermark = std::max(w.watermark, new_watermark);
+  }
+  return true;
 }
 
 void RpcEndpoint::register_method(const std::string& service, const std::string& method,
@@ -110,6 +136,24 @@ sim::Task<Result<Buffer>> RpcEndpoint::call_bound(Binding& binding, std::string 
   co_return result;
 }
 
+sim::Task<Result<Buffer>> RpcEndpoint::call_with_retry(NodeId dest, std::string service,
+                                                       std::string method, Buffer args) {
+  Backoff backoff{cfg_.backoff(), rng_.fork()};
+  const std::uint32_t attempts = cfg_.retry_attempts == 0 ? 1 : cfg_.retry_attempts;
+  Result<Buffer> result = Err::Timeout;
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      co_await node_.sim().sleep(backoff.next());
+      if (!node_.up()) co_return Err::NodeDown;
+    }
+    result = co_await call(dest, service, method, args);
+    // Only transport loss is worth re-trying; everything else (including
+    // NodeDown: local knowledge that the destination is gone) is final.
+    if (result.ok() || result.error() != Err::Timeout) co_return result;
+  }
+  co_return result;
+}
+
 sim::Task<Result<Binding>> RpcEndpoint::bind(NodeId server) {
   Result<Buffer> r = co_await call(server, "sys", "ping", Buffer{});
   if (!r.ok()) co_return r.error();
@@ -129,6 +173,11 @@ void RpcEndpoint::on_message(NodeId from, Buffer msg) {
 }
 
 void RpcEndpoint::on_request(NodeId from, std::uint64_t req_id, Buffer msg) {
+  // At-most-once: a duplicated datagram must not re-execute the handler.
+  // The original delivery's reply (possibly itself duplicated in flight)
+  // answers the caller; if that reply was lost, the caller times out and
+  // retries under a fresh req_id — exactly as for a lost request.
+  if (!first_delivery(from, req_id)) return;
   auto expected_epoch = msg.unpack_u64();
   auto key = msg.unpack_string();
   auto args = msg.unpack_bytes();

@@ -17,13 +17,16 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "sim/future.h"
 #include "sim/network.h"
 #include "sim/node.h"
 #include "sim/task.h"
+#include "util/backoff.h"
 #include "util/buffer.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace gv::rpc {
 
@@ -40,6 +43,19 @@ struct Binding {
 
 struct RpcConfig {
   sim::SimTime call_timeout = 50 * sim::kMillisecond;
+
+  // Retry policy for call_with_retry: exponential backoff between
+  // attempts with deterministic jitter (the endpoint's Rng is forked from
+  // the simulation RNG, so retry schedules replay exactly from the seed).
+  std::uint32_t retry_attempts = 3;  // total attempts, including the first
+  sim::SimTime retry_initial = 10 * sim::kMillisecond;
+  sim::SimTime retry_max = 200 * sim::kMillisecond;
+  double retry_multiplier = 2.0;
+  double retry_jitter = 0.2;  // +/- fraction of each delay
+
+  BackoffConfig backoff() const noexcept {
+    return BackoffConfig{retry_initial, retry_max, retry_multiplier, retry_jitter};
+  }
 };
 
 class RpcEndpoint {
@@ -59,6 +75,16 @@ class RpcEndpoint {
                                  Buffer args);
   sim::Task<Result<Buffer>> call(NodeId dest, std::string service, std::string method,
                                  Buffer args, sim::SimTime timeout);
+
+  // Call with up to cfg.retry_attempts attempts, pacing retries with
+  // exponential backoff + jitter. Retries ONLY transport-level losses
+  // (Timeout): application errors and NodeDown are returned immediately,
+  // and the callee must be idempotent (every built-in service is — the
+  // duplicate-suppression window below absorbs re-executed requests).
+  sim::Task<Result<Buffer>> call_with_retry(NodeId dest, std::string service, std::string method,
+                                            Buffer args);
+
+  Rng& rng() noexcept { return rng_; }
 
   // Bound call (sec 3.1): refuses immediately with BindingBroken if the
   // server incarnation the binding was made against is gone; marks the
@@ -84,14 +110,28 @@ class RpcEndpoint {
   void send_reply(NodeId to, std::uint64_t req_id, const Result<Buffer>& result,
                   std::uint64_t epoch_at_receipt);
 
+  // At-most-once execution: true exactly once per (sender, req_id). The
+  // network may duplicate datagrams (NetConfig::dup_prob); re-running a
+  // request would double-apply non-idempotent operations (Increment,
+  // prepare, ...), so duplicates are dropped here — the original
+  // execution's reply already answers the caller. Volatile (cleared on
+  // crash), like any server-side session table.
+  bool first_delivery(NodeId from, std::uint64_t req_id);
+
   sim::Node& node_;
   sim::Network& net_;
   RpcConfig cfg_;
+  Rng rng_;  // forked from the sim RNG: retry jitter
   std::uint64_t next_req_id_ = 1;
   std::unordered_map<std::string, Method> methods_;
   // req_id -> (reply promise, timeout event id)
   std::unordered_map<std::uint64_t, std::pair<sim::SimPromise<Result<Buffer>>, std::uint64_t>>
       outstanding_;
+  struct DedupWindow {
+    std::uint64_t watermark = 0;  // ids <= watermark are known-seen
+    std::unordered_set<std::uint64_t> seen;
+  };
+  std::unordered_map<NodeId, DedupWindow> dedup_;
 };
 
 // The cluster-wide RPC fabric: one endpoint per node, plus a built-in

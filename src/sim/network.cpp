@@ -23,7 +23,17 @@ void Network::send(NodeId from, NodeId to, Buffer msg) {
     counters_.inc("net.drop_loss");
     return;
   }
-  const SimTime latency = sample_latency();
+  // Datagram duplication (e.g. a retransmitting switch): the copy takes
+  // its own independently sampled path, so it may arrive before or after
+  // the original — receivers must be idempotent.
+  if (cfg_.dup_prob > 0 && rng_.bernoulli(cfg_.dup_prob)) {
+    counters_.inc("net.duplicated");
+    deliver(from, to, msg, sample_latency());
+  }
+  deliver(from, to, std::move(msg), sample_latency());
+}
+
+void Network::deliver(NodeId from, NodeId to, Buffer msg, SimTime latency) {
   sim_.schedule(latency, [this, from, to, msg = std::move(msg)]() mutable {
     if (!cluster_.up(to)) {
       counters_.inc("net.drop_receiver_down");

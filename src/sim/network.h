@@ -26,6 +26,7 @@ struct NetConfig {
   SimTime base_latency = 500 * kMicrosecond;  // propagation + processing floor
   double jitter_mean_us = 300.0;              // exponential extra delay
   double loss_prob = 0.0;                     // per-message drop probability
+  double dup_prob = 0.0;                      // per-message duplication probability
 };
 
 class Network {
@@ -57,6 +58,8 @@ class Network {
   SimTime sample_latency();
 
  private:
+  void deliver(NodeId from, NodeId to, Buffer msg, SimTime latency);
+
   struct PairHash {
     std::size_t operator()(const std::pair<NodeId, NodeId>& p) const noexcept {
       return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(p.first) << 32) | p.second);

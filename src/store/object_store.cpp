@@ -2,6 +2,7 @@
 
 #include "actions/coordinator_log.h"
 
+#include "util/backoff.h"
 #include "util/log.h"
 
 namespace gv::store {
@@ -15,9 +16,24 @@ ObjectStore::ObjectStore(sim::Node& node, rpc::RpcEndpoint& endpoint)
     suspects_.clear();
   });
   node_.on_recover([this] {
-    // Shadows that survived the crash are IN-DOUBT: this store voted yes
-    // and never learned the outcome. Presuming abort here would LOSE a
-    // commit the coordinator already decided; resolve by asking it.
+    // Recovery scan. A torn shadow (injected stable-storage fault) fails
+    // its checksum here: the slot never held a complete state, so it is
+    // discarded — NOT treated as in-doubt — and the prepare() this store
+    // acknowledged is lost. The object stays SUSPECT (marked below), so
+    // the recovery protocol refreshes it from a peer before it is served
+    // again; a coordinator that decided commit meanwhile finds this
+    // store's commit() returning NotFound, which phase 2 tolerates.
+    for (auto it = shadows_.begin(); it != shadows_.end();) {
+      if (it->second.torn) {
+        counters_.inc("store.torn_shadow_detected");
+        it = shadows_.erase(it);
+        continue;
+      }
+      ++it;
+    }
+    // Remaining shadows are IN-DOUBT: this store voted yes and never
+    // learned the outcome. Presuming abort here would LOSE a commit the
+    // coordinator already decided; resolve by asking it.
     for (auto& [txn, set] : shadows_) {
       set.in_doubt = true;
       counters_.inc("store.in_doubt_shadow");
@@ -48,10 +64,18 @@ Status ObjectStore::prepare(const Uid& uid, const Uid& txn, std::uint64_t versio
     counters_.inc("store.prepare_stale");
     return Err::Conflict;  // a later state is already committed
   }
+  if (faults_.fail_prepare_prob > 0 && fault_rng_.bernoulli(faults_.fail_prepare_prob)) {
+    counters_.inc("store.fault_prepare_failed");
+    return Err::Conflict;  // injected IO error: the shadow install failed
+  }
   ShadowSet& set = shadows_[txn];
   if (set.writes.empty()) set.created_at = node_.sim().now();
   set.coordinator = coordinator;
   set.writes[uid] = VersionedState{version, std::move(state)};
+  if (faults_.torn_shadow_prob > 0 && fault_rng_.bernoulli(faults_.torn_shadow_prob)) {
+    counters_.inc("store.fault_torn_shadow");
+    set.torn = true;
+  }
   counters_.inc("store.prepare");
   return ok_status();
 }
@@ -81,13 +105,15 @@ sim::Task<> ObjectStore::resolve_in_doubt(std::uint64_t epoch) {
       // with backoff; only a persistent Unknown (coordinator lost the
       // record, i.e. it crashed before deciding, or the action was
       // abandoned) becomes a presumed abort.
+      Backoff pace{BackoffConfig{100 * sim::kMillisecond, 500 * sim::kMillisecond},
+                   endpoint_.rng().fork()};
       for (int attempt = 0; attempt < 10; ++attempt) {
         auto r = co_await actions::CoordinatorLog::remote_outcome(endpoint_, coordinator, txn);
         if (r.ok() && r.value() != actions::TxnOutcome::Unknown) {
           outcome = r.value();
           break;
         }
-        co_await node_.sim().sleep(200 * sim::kMillisecond);
+        co_await node_.sim().sleep(pace.next());
         if (!node_.up() || node_.epoch() != epoch) co_return;
         // A phase-2 RPC may have resolved it while we slept.
         if (shadows_.find(txn) == shadows_.end()) break;
@@ -116,8 +142,12 @@ Status ObjectStore::commit(const Uid& txn) {
     auto cit = committed_.find(uid);
     // Install unless something newer arrived (cannot happen under 2PL,
     // but the check keeps the store self-protecting).
-    if (cit == committed_.end() || cit->second.version < vs.version)
+    if (cit == committed_.end() || cit->second.version < vs.version) {
+      GV_LOG(LogLevel::Debug, node_.sim().now(), "store", "node %u install %s v%llu",
+             node_.id(), uid.to_string().c_str(),
+             static_cast<unsigned long long>(vs.version));
       committed_[uid] = std::move(vs);
+    }
   }
   shadows_.erase(it);
   counters_.inc("store.commit");
@@ -136,6 +166,8 @@ Status ObjectStore::write_direct(const Uid& uid, std::uint64_t version, Buffer s
     counters_.inc("store.direct_stale");
     return Err::Conflict;
   }
+  GV_LOG(LogLevel::Trace, node_.sim().now(), "store", "node %u direct-write %s v%llu",
+         node_.id(), uid.to_string().c_str(), static_cast<unsigned long long>(version));
   committed_[uid] = VersionedState{version, std::move(state)};
   counters_.inc("store.direct_write");
   return ok_status();
@@ -143,11 +175,28 @@ Status ObjectStore::write_direct(const Uid& uid, std::uint64_t version, Buffer s
 
 bool ObjectStore::contains(const Uid& uid) const { return committed_.count(uid) > 0; }
 
+bool ObjectStore::has_pending_shadow(const Uid& uid) const {
+  for (const auto& [txn, set] : shadows_)
+    if (set.writes.count(uid) > 0) return true;
+  return false;
+}
+
+bool ObjectStore::verify_shadow(const Uid& txn) {
+  auto it = shadows_.find(txn);
+  if (it == shadows_.end()) return false;
+  if (it->second.torn) {
+    counters_.inc("store.torn_vote_no");
+    return false;
+  }
+  return true;
+}
+
 void ObjectStore::rekey_shadow(const Uid& child, const Uid& parent) {
   auto it = shadows_.find(child);
   if (it == shadows_.end()) return;
   ShadowSet& dst = shadows_[parent];
   if (dst.writes.empty()) dst.created_at = it->second.created_at;
+  dst.torn = dst.torn || it->second.torn;  // a tear taints the whole slot
   for (auto& [uid, vs] : it->second.writes) {
     // Child wrote after (within) the parent: the child's state is newer.
     dst.writes[uid] = std::move(vs);
@@ -158,19 +207,34 @@ void ObjectStore::rekey_shadow(const Uid& child, const Uid& parent) {
 std::size_t ObjectStore::reap_orphan_shadows(sim::SimTime min_age) {
   const sim::SimTime now = node_.sim().now();
   std::size_t reaped = 0;
+  bool need_resolve = false;
   for (auto it = shadows_.begin(); it != shadows_.end();) {
     if (it->second.in_doubt) {
       ++it;  // being resolved via the coordinator; never reap blindly
       continue;
     }
-    if (now - it->second.created_at >= min_age) {
-      it = shadows_.erase(it);
-      ++reaped;
-    } else {
+    if (now - it->second.created_at < min_age) {
       ++it;
+      continue;
     }
+    if (it->second.coordinator != sim::kNoNode) {
+      // An aged shadow with a known coordinator may be DECIDED: a
+      // phase-2 commit RPC lost in the network leaves exactly this slot
+      // behind, and presuming abort would silently drop a committed
+      // install (found by the gv_campaign netchaos mix). Flip it to
+      // in-doubt and resolve by asking the coordinator; only a shadow
+      // with no recorded coordinator is reaped blindly.
+      it->second.in_doubt = true;
+      counters_.inc("store.orphan_made_in_doubt");
+      need_resolve = true;
+      ++it;
+      continue;
+    }
+    it = shadows_.erase(it);
+    ++reaped;
   }
   if (reaped > 0) counters_.inc("store.reaped_orphan_shadows", reaped);
+  if (need_resolve) node_.sim().spawn(resolve_in_doubt(node_.epoch()));
   return reaped;
 }
 
@@ -226,6 +290,15 @@ void ObjectStore::register_rpc() {
                               if (!r.ok()) co_return r.error();
                               Buffer out;
                               out.pack_u64(r.value());
+                              co_return out;
+                            });
+  endpoint_.register_method(kStoreService, "probe",
+                            [this](NodeId, Buffer args) -> sim::Task<Result<Buffer>> {
+                              auto uid = args.unpack_uid();
+                              if (!uid.ok()) co_return Err::BadRequest;
+                              Buffer out;
+                              out.pack_u64(version(uid.value()).value_or(0))
+                                  .pack_bool(has_pending_shadow(uid.value()));
                               co_return out;
                             });
   endpoint_.register_method(kStoreService, "prepare",
@@ -295,6 +368,18 @@ sim::Task<Result<std::uint64_t>> ObjectStore::remote_version(rpc::RpcEndpoint& f
   co_return ver.value();
 }
 
+sim::Task<Result<ObjectStore::Probe>> ObjectStore::remote_probe(rpc::RpcEndpoint& from,
+                                                                NodeId dest, Uid uid) {
+  Buffer args;
+  args.pack_uid(uid);
+  auto r = co_await from.call(dest, kStoreService, "probe", std::move(args));
+  if (!r.ok()) co_return r.error();
+  auto ver = r.value().unpack_u64();
+  auto pending = r.value().unpack_bool();
+  if (!ver.ok() || !pending.ok()) co_return Err::BadRequest;
+  co_return Probe{ver.value(), pending.value()};
+}
+
 sim::Task<Status> ObjectStore::remote_prepare(rpc::RpcEndpoint& from, NodeId dest, Uid uid,
                                               Uid txn, std::uint64_t version, Buffer state,
                                               NodeId coordinator) {
@@ -336,8 +421,8 @@ sim::Task<Status> ObjectStore::remote_write_direct(rpc::RpcEndpoint& from, NodeI
 sim::Task<bool> StoreTxnParticipant::prepare(const Uid& txn) {
   // The commit processor only enlists a store it staged writes at, so a
   // missing shadow means the shadow was lost (crash + presumed-abort
-  // recovery scan) — vote no.
-  co_return store_.has_shadow(txn);
+  // recovery scan) — vote no. A torn shadow fails verification — vote no.
+  co_return store_.verify_shadow(txn);
 }
 
 sim::Task<Status> StoreTxnParticipant::commit(const Uid& txn) {

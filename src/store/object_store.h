@@ -28,6 +28,7 @@
 #include "sim/node.h"
 #include "util/buffer.h"
 #include "util/result.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/uid.h"
 
@@ -38,6 +39,21 @@ using sim::NodeId;
 struct VersionedState {
   std::uint64_t version = 0;
   Buffer state;
+};
+
+// Stable-storage fault injection (nemesis hook). Probabilities are
+// evaluated per prepare(): `fail_prepare_prob` models an IO error that
+// refuses the shadow install outright (the commit processor then
+// Excludes this store like an unreachable one); `torn_shadow_prob`
+// models a shadow write that reports success but lands torn on disk —
+// harmless unless the node crashes before commit, at which point the
+// recovery scan's checksum detects the tear and discards the slot
+// instead of treating it as in-doubt.
+struct StoreFaultConfig {
+  double fail_prepare_prob = 0.0;
+  double torn_shadow_prob = 0.0;
+
+  bool enabled() const noexcept { return fail_prepare_prob > 0 || torn_shadow_prob > 0; }
 };
 
 // RPC service name exposed by every store node.
@@ -61,6 +77,17 @@ class ObjectStore {
   bool contains(const Uid& uid) const;
   std::vector<Uid> local_objects() const;
 
+  // 2PC vote: the shadow must exist AND verify against its checksum — a
+  // torn slot is detected here at the latest, so a tear can only ever
+  // abort an action or divert it to the recovery path, never commit.
+  bool verify_shadow(const Uid& txn);
+
+  // True if any shadow slot holds a write for `uid`: the object's next
+  // version may be decided-but-not-installed, so the committed version
+  // here cannot be trusted as final. Recovery version scans must retry
+  // instead of validating against it (see replication/recovery.cpp).
+  bool has_pending_shadow(const Uid& uid) const;
+
   // Nested-action support over shadow slots.
   bool has_shadow(const Uid& txn) const { return shadows_.count(txn) > 0; }
   void rekey_shadow(const Uid& child, const Uid& parent);
@@ -81,7 +108,21 @@ class ObjectStore {
   std::size_t in_doubt_count() const;
   bool suspect(const Uid& uid) const { return suspects_.count(uid) > 0; }
   void clear_suspect(const Uid& uid) { suspects_.erase(uid); }
+  // Demote a locally stored object to SUSPECT so the recovery daemon
+  // revalidates it (used by the partition-heal re-Include probe).
+  void mark_suspect(const Uid& uid) {
+    if (committed_.count(uid) > 0) suspects_.insert(uid);
+  }
   std::vector<Uid> suspect_objects() const;
+
+  // Fault injection (StorageFaultNemesis). `seed` keeps the fault stream
+  // deterministic and independent of the rest of the simulation.
+  void set_faults(StoreFaultConfig faults, std::uint64_t seed) {
+    faults_ = faults;
+    fault_rng_.reseed(seed);
+  }
+  void clear_faults() { faults_ = StoreFaultConfig{}; }
+  const StoreFaultConfig& faults() const noexcept { return faults_; }
 
   Counters& counters() noexcept { return counters_; }
   NodeId node_id() const noexcept { return node_.id(); }
@@ -92,6 +133,13 @@ class ObjectStore {
                                                        Uid uid);
   static sim::Task<Result<std::uint64_t>> remote_version(rpc::RpcEndpoint& from, NodeId dest,
                                                          Uid uid);
+  // Committed version (0 if absent) plus whether a shadow for `uid` is
+  // pending at `dest` — the recovery scan's view of a peer.
+  struct Probe {
+    std::uint64_t version = 0;
+    bool pending = false;
+  };
+  static sim::Task<Result<Probe>> remote_probe(rpc::RpcEndpoint& from, NodeId dest, Uid uid);
   static sim::Task<Status> remote_prepare(rpc::RpcEndpoint& from, NodeId dest, Uid uid, Uid txn,
                                           std::uint64_t version, Buffer state,
                                           NodeId coordinator = sim::kNoNode);
@@ -111,6 +159,7 @@ class ObjectStore {
     sim::SimTime created_at = 0;
     NodeId coordinator = sim::kNoNode;
     bool in_doubt = false;  // survived a crash after voting yes
+    bool torn = false;      // injected torn write; fatal only across a crash
   };
 
   sim::Task<> resolve_in_doubt(std::uint64_t epoch);
@@ -121,6 +170,8 @@ class ObjectStore {
   // abort) or the orphan reaper. txn -> pending writes.
   std::map<Uid, ShadowSet> shadows_;
   bool reaper_running_ = false;
+  StoreFaultConfig faults_;
+  Rng fault_rng_{0xFA017};
 
   // VOLATILE: rebuilt on recovery.
   std::unordered_set<Uid> suspects_;

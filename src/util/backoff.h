@@ -1,0 +1,51 @@
+// Exponential backoff with deterministic jitter.
+//
+// Every retry loop in the system (RPC re-calls, binder re-binds, recovery
+// repair passes, in-doubt resolution) paces itself with one of these
+// instead of a fixed interval: fixed intervals synchronise independent
+// retriers into convoys that hammer a recovering node at the exact same
+// instants on every pass. The jitter is drawn from an explicitly seeded
+// Rng (normally forked from the simulation RNG), so schedules remain
+// exactly reproducible from the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace gv {
+
+struct BackoffConfig {
+  std::uint64_t initial = 0;     // first delay (time units of the caller)
+  std::uint64_t max = 0;         // cap on the un-jittered delay
+  double multiplier = 2.0;       // growth per attempt
+  double jitter = 0.2;           // +/- fraction of the delay, uniform
+};
+
+class Backoff {
+ public:
+  Backoff(BackoffConfig cfg, Rng rng) noexcept : cfg_(cfg), rng_(rng), current_(cfg.initial) {}
+
+  // Delay to sleep before the next attempt; advances the schedule.
+  std::uint64_t next() noexcept {
+    const std::uint64_t base = current_;
+    const double grown = static_cast<double>(current_) * cfg_.multiplier;
+    current_ = grown >= static_cast<double>(cfg_.max) ? cfg_.max
+                                                      : static_cast<std::uint64_t>(grown);
+    if (cfg_.jitter <= 0 || base == 0) return base;
+    // Uniform in [base*(1-j), base*(1+j)]; never zero so the caller
+    // always yields to the event loop.
+    const double spread = static_cast<double>(base) * cfg_.jitter;
+    const double jittered = static_cast<double>(base) - spread + 2 * spread * rng_.uniform01();
+    return jittered < 1.0 ? 1 : static_cast<std::uint64_t>(jittered);
+  }
+
+  void reset() noexcept { current_ = cfg_.initial; }
+
+ private:
+  BackoffConfig cfg_;
+  Rng rng_;
+  std::uint64_t current_;
+};
+
+}  // namespace gv

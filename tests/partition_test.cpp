@@ -94,6 +94,45 @@ TEST(Partition, HealedStoreStaysExcludedUntilRecoveryProtocolRuns) {
   EXPECT_EQ(s.sys.store_at(4).read(obj).value().version, 2u);
 }
 
+TEST(Partition, ViewProbeReIncludesHealedStoreWithoutCrashCycle) {
+  // The DESIGN.md sec 8 liveness gap, closed: with the view probe armed,
+  // a store that was Excluded while partitioned (it never crashed, so the
+  // recovery hook never fires) notices its own absence from St after the
+  // heal, demotes the object to SUSPECT, refreshes from a current member
+  // and re-Includes itself — no operator-driven crash/recovery cycle.
+  SystemConfig cfg;
+  cfg.nodes = 8;
+  cfg.start_view_probe = true;
+  cfg.view_probe_period = 200 * sim::kMillisecond;
+  Sys s{cfg};
+  Uid obj = s.sys.define_object("o", "counter", Counter{}.snapshot(), {2}, {3, 4},
+                                ReplicationPolicy::SingleCopyPassive, 1);
+  auto* client = s.sys.client(1);
+  const std::uint64_t crashes_before = s.sys.cluster().node(4).crash_count();
+
+  s.sys.sim().spawn([](ReplicaSystem& sys, ClientSession* client, Uid obj) -> sim::Task<> {
+    auto txn = client->begin();
+    (void)co_await txn->invoke(obj, "add", i64_buf(1), LockMode::Write);
+    sys.net().partition({4}, {0, 1, 2, 3, 5, 6, 7});
+    EXPECT_TRUE((co_await txn->commit()).ok());
+  }(s.sys, client, obj));
+  s.sys.sim().run_until(1 * sim::kSecond);
+  // Excluded during the partition, and the probe cannot fix anything
+  // while the naming node is unreachable.
+  EXPECT_EQ(s.sys.gvdb().states().peek(obj), (std::vector<sim::NodeId>{3}));
+
+  s.sys.net().heal();
+  s.sys.sim().run_until(4 * sim::kSecond);
+
+  auto st = s.sys.gvdb().states().peek(obj);
+  std::sort(st.begin(), st.end());
+  EXPECT_EQ(st, (std::vector<sim::NodeId>{3, 4}));
+  EXPECT_EQ(s.sys.store_at(4).read(obj).value().version, 2u);
+  // The whole point: no crash/recovery cycle was needed.
+  EXPECT_EQ(s.sys.cluster().node(4).crash_count(), crashes_before);
+  EXPECT_GE(s.sys.recovery_at(4).counters().get("recovery.probe_demoted"), 1u);
+}
+
 TEST(Partition, MinorityServerReplicaDroppedMajorityContinues) {
   Sys s{SystemConfig{.nodes = 9}};
   Uid obj = s.sys.define_object("o", "counter", Counter{}.snapshot(), {2, 3, 4}, {6},

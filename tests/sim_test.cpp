@@ -116,6 +116,20 @@ TEST(Task, ManyConcurrentTasksInterleaveDeterministically) {
 TEST(Task, DeepAwaitChainDoesNotOverflow) {
   Simulator sim;
   // Symmetric transfer: a 10k-deep chain of awaits must not blow the stack.
+  // ASan instrumentation defeats the tail calls symmetric transfer
+  // compiles down to, so the property is unobservable there — keep the
+  // chain shallow enough to fit a real stack under instrumentation.
+#if defined(__SANITIZE_ADDRESS__)
+  constexpr int kDepth = 500;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  constexpr int kDepth = 500;
+#else
+  constexpr int kDepth = 10000;
+#endif
+#else
+  constexpr int kDepth = 10000;
+#endif
   struct Rec {
     static Task<int> down(int n) {
       if (n == 0) co_return 0;
@@ -124,9 +138,9 @@ TEST(Task, DeepAwaitChainDoesNotOverflow) {
     }
   };
   int got = -1;
-  sim.spawn([](int& g) -> Task<> { g = co_await Rec::down(10000); }(got));
+  sim.spawn([](int& g) -> Task<> { g = co_await Rec::down(kDepth); }(got));
   sim.run();
-  EXPECT_EQ(got, 10000);
+  EXPECT_EQ(got, kDepth);
 }
 
 // ------------------------------------------------------------ SimFuture
