@@ -14,7 +14,8 @@
 using namespace gv;
 using namespace gv::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsOptions obs = parse_obs(argc, argv);
   std::printf("F6 / Figure 6: standard nested atomic actions (scheme S1)\n");
   std::printf("30 txns per client, 5 seeds; Sv={2,3,4,5}, servers 2,3 dead all run\n");
   core::Table table({"clients", "availability", "stale probes", "Removes", "txn latency (ms)",
@@ -23,7 +24,9 @@ int main() {
     SchemeMetrics sum;
     Summary latency;
     for (auto seed : seeds()) {
-      auto m = run_scheme_workload(naming::Scheme::StandardNested, clients, seed, &latency);
+      auto m = run_scheme_workload(naming::Scheme::StandardNested, clients, seed, &latency, 2,
+                                   &obs,
+                                   "f6_c" + std::to_string(clients) + "_s" + std::to_string(seed));
       sum.wl.attempted += m.wl.attempted;
       sum.wl.committed += m.wl.committed;
       sum.stale_probes += m.stale_probes;

@@ -10,7 +10,8 @@
 using namespace gv;
 using namespace gv::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsOptions obs = parse_obs(argc, argv);
   std::printf("F7 / Figure 7: independent top-level actions (scheme S2)\n");
   std::printf("30 txns per client, 5 seeds; Sv={2,3,4,5}, servers 2,3 dead all run\n");
   core::Table table({"clients", "availability", "stale probes", "Removes", "txn latency (ms)",
@@ -20,7 +21,9 @@ int main() {
     Summary latency;
     for (auto seed : seeds()) {
       auto m =
-          run_scheme_workload(naming::Scheme::IndependentTopLevel, clients, seed, &latency);
+          run_scheme_workload(naming::Scheme::IndependentTopLevel, clients, seed, &latency, 2,
+                              &obs,
+                              "f7_c" + std::to_string(clients) + "_s" + std::to_string(seed));
       sum.wl.attempted += m.wl.attempted;
       sum.wl.committed += m.wl.committed;
       sum.stale_probes += m.stale_probes;

@@ -10,7 +10,8 @@
 using namespace gv;
 using namespace gv::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const ObsOptions obs = parse_obs(argc, argv);
   std::printf("F8 / Figure 8: nested top-level actions (scheme S3) vs S2\n");
   std::printf("30 txns per client, 5 seeds; Sv={2,3,4,5}, servers 2,3 dead all run\n");
   core::Table table({"clients", "S3 availability", "S3 stale probes", "S3 latency (ms)",
@@ -19,7 +20,10 @@ int main() {
     SchemeMetrics s3_sum;
     Summary s3_latency, s2_latency;
     for (auto seed : seeds()) {
-      auto m3 = run_scheme_workload(naming::Scheme::NestedTopLevel, clients, seed, &s3_latency);
+      auto m3 = run_scheme_workload(naming::Scheme::NestedTopLevel, clients, seed, &s3_latency,
+                                    2, &obs,
+                                    "f8_c" + std::to_string(clients) + "_s" +
+                                        std::to_string(seed));
       s3_sum.wl.attempted += m3.wl.attempted;
       s3_sum.wl.committed += m3.wl.committed;
       s3_sum.stale_probes += m3.stale_probes;

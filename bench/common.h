@@ -7,11 +7,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/chaos.h"
 #include "core/metrics.h"
 #include "core/system.h"
+#include "core/trace.h"
 
 namespace gv::bench {
 
@@ -77,6 +80,41 @@ inline sim::Task<> run_workload(ClientSession* client, Uid obj, WorkloadOptions 
 inline const std::vector<std::uint64_t>& seeds() {
   static const std::vector<std::uint64_t> s{11, 29, 47, 83, 131};
   return s;
+}
+
+// ---------------------------------------------------------- observability
+// Every harness accepts --trace-out=PATH and --metrics-out=PATH. The
+// metrics file is APPENDED so a sweep accumulates one JSONL line per
+// metric per cell (lines carry the cell label); the trace file is
+// overwritten per cell, so after the run it holds the LAST cell's
+// timeline — narrow the sweep (or pick a single seed) to capture a
+// specific one.
+struct ObsOptions {
+  std::string trace_out;
+  std::string metrics_out;
+
+  bool tracing() const noexcept { return !trace_out.empty(); }
+  bool any() const noexcept { return tracing() || !metrics_out.empty(); }
+};
+
+inline ObsOptions parse_obs(int argc, char** argv) {
+  ObsOptions obs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) obs.trace_out = argv[i] + 12;
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) obs.metrics_out = argv[i] + 14;
+  }
+  return obs;
+}
+
+inline void dump_obs(core::ReplicaSystem& sys, const ObsOptions& obs, const std::string& label) {
+  if (!obs.trace_out.empty()) (void)sys.trace().write_chrome_trace(obs.trace_out);
+  if (!obs.metrics_out.empty()) {
+    if (std::FILE* f = std::fopen(obs.metrics_out.c_str(), "a")) {
+      const std::string lines = sys.metrics().jsonl(label);
+      std::fwrite(lines.data(), 1, lines.size(), f);
+      std::fclose(f);
+    }
+  }
 }
 
 }  // namespace gv::bench

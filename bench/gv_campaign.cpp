@@ -110,10 +110,19 @@ struct CellResult {
   std::vector<AuditViolation> violations;
   std::string audit_report;
   std::string schedule;
+  std::string trace_tail;  // post-mortem timeline; filled on violation
 };
 
+// Ring sized for a post-mortem tail, not a full run: the campaign keeps
+// tracing on for every cell, so it must cost near-nothing per event. 512
+// slots keeps the whole ring cache-resident (the dominant recording cost
+// is the cache miss on the slot, not the stores) while still holding ~6x
+// more history than the 80-event timeline printed for a violation.
+constexpr std::size_t kCellTraceRing = 512;
+
 CellResult run_cell(std::uint64_t seed, const std::string& mix, naming::Scheme scheme,
-                    bool verbose) {
+                    bool verbose, bool tracing = true, const std::string& metrics_out = "",
+                    const std::string& cell_label = "") {
   SystemConfig cfg;
   cfg.nodes = 10;
   cfg.seed = seed;
@@ -121,6 +130,8 @@ CellResult run_cell(std::uint64_t seed, const std::string& mix, naming::Scheme s
   cfg.start_janitor = true;        // crashed clients / phantom counters
   cfg.start_store_reaper = true;   // orphaned shadows (dead coordinators)
   cfg.start_view_probe = true;     // partition-heal re-Include
+  cfg.tracing = tracing;
+  cfg.trace_ring = kCellTraceRing;
   ReplicaSystem sys{cfg};
   const Uid acct = sys.define_object("acct", "bank", replication::BankAccount{}.snapshot(),
                                      kServerNodes, kStoreNodes, ReplicationPolicy::Active, 2);
@@ -196,6 +207,16 @@ CellResult run_cell(std::uint64_t seed, const std::string& mix, naming::Scheme s
   out.violations = audit.violations();
   out.audit_report = audit.report();
   out.schedule = suite.dump();
+  // Post-mortem timeline: the ring's last events, in order, for any cell
+  // that failed the audit (also on verbose replays, trace permitting).
+  if (tracing && (!out.violations.empty() || verbose)) out.trace_tail = sys.trace().tail(80);
+  if (!metrics_out.empty()) {
+    if (std::FILE* f = std::fopen(metrics_out.c_str(), "a")) {
+      const std::string lines = sys.metrics().jsonl(cell_label);
+      std::fwrite(lines.data(), 1, lines.size(), f);
+      std::fclose(f);
+    }
+  }
   if (verbose) {
     std::printf("  workload: %d/%d committed, delta %lld\n", out.committed, out.attempted,
                 static_cast<long long>(committed_delta));
@@ -224,7 +245,8 @@ CellResult run_cell(std::uint64_t seed, const std::string& mix, naming::Scheme s
 int usage() {
   std::fprintf(stderr,
                "usage: gv_campaign [--seeds N] [--seed-base B] [--mix MIX] [--scheme S]\n"
-               "                   [--smoke] [--trace] [--replay SEED MIX SCHEME]\n");
+               "                   [--smoke] [--trace] [--replay SEED MIX SCHEME]\n"
+               "                   [--no-cell-trace] [--metrics-out PATH]\n");
   return 2;
 }
 
@@ -240,6 +262,8 @@ int main(int argc, char** argv) {
   std::vector<SchemeOpt> schemes = all_schemes();
   bool smoke = false;
   bool replay = false;
+  bool cell_trace = true;  // --no-cell-trace: overhead A/B baseline
+  std::string metrics_out;
   std::uint64_t replay_seed = 0;
   std::string replay_mix;
   std::string replay_scheme;
@@ -275,6 +299,10 @@ int main(int argc, char** argv) {
       schemes = {*s};
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--no-cell-trace") {
+      cell_trace = false;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else if (arg == "--trace") {
       gv::Log::set_level(gv::LogLevel::Debug);
     } else if (arg == "--replay" && i + 3 < argc) {
@@ -296,7 +324,11 @@ int main(int argc, char** argv) {
     if (s == nullptr) return usage();
     std::printf("replay: seed %llu mix %s scheme %s\n",
                 static_cast<unsigned long long>(replay_seed), replay_mix.c_str(), s->cli);
-    CellResult r = run_cell(replay_seed, replay_mix, s->scheme, /*verbose=*/true);
+    CellResult r = run_cell(replay_seed, replay_mix, s->scheme, /*verbose=*/true, cell_trace,
+                            metrics_out,
+                            "replay_" + replay_mix + "_" + replay_scheme + "_" +
+                                std::to_string(replay_seed));
+    if (!r.trace_tail.empty()) std::printf("  timeline (last events):\n%s", r.trace_tail.c_str());
     if (r.violations.empty()) {
       std::printf("  audit: CLEAN\n");
       return 0;
@@ -328,7 +360,9 @@ int main(int argc, char** argv) {
       std::size_t violations = 0;
       for (int k = 0; k < n_seeds; ++k) {
         const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(k);
-        CellResult r = run_cell(seed, mix, scheme.scheme, /*verbose=*/false);
+        CellResult r = run_cell(seed, mix, scheme.scheme, /*verbose=*/false, cell_trace,
+                                metrics_out,
+                                mix + "_" + scheme.cli + "_" + std::to_string(seed));
         ++cells;
         attempted += r.attempted;
         committed += r.committed;
@@ -339,6 +373,8 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(seed), mix.c_str(), scheme.cli,
                       r.violations.size());
           std::printf("%s", r.audit_report.c_str());
+          if (!r.trace_tail.empty())
+            std::printf("  timeline (last events):\n%s", r.trace_tail.c_str());
           std::printf("  replay: ./gv_campaign --replay %llu %s %s --trace\n",
                       static_cast<unsigned long long>(seed), mix.c_str(), scheme.cli);
         }

@@ -24,11 +24,14 @@ struct SchemeMetrics {
 
 inline SchemeMetrics run_scheme_workload(naming::Scheme scheme, int n_clients,
                                          std::uint64_t seed, Summary* latency,
-                                         int dead_servers = 2) {
+                                         int dead_servers = 2,
+                                         const ObsOptions* obs = nullptr,
+                                         const std::string& obs_label = "") {
   SystemConfig cfg;
   cfg.nodes = 14;
   cfg.seed = seed;
   cfg.scheme = scheme;
+  if (obs != nullptr && obs->tracing()) cfg.tracing = true;
   // Generous deadlines: the scheme comparison is about WHO does the
   // repair work and WHERE the lock traffic goes — binds that merely queue
   // on the Sv entry should serialise (visible as latency), not abort.
@@ -60,6 +63,7 @@ inline SchemeMetrics run_scheme_workload(naming::Scheme scheme, int n_clients,
   out.db_lock_conflicts = agg.get("osdb.lock_refused") + agg.get("osdb.lock.conflict_wait") +
                           agg.get("osdb.lock.promotion_wait");
   out.top_level_actions = agg.get("action.begin_top");
+  if (obs != nullptr && obs->any()) dump_obs(sys, *obs, obs_label);
   return out;
 }
 

@@ -8,9 +8,16 @@
 // re-activated replicas.
 //
 //   ./examples/bank_transfer
+//   ./examples/bank_transfer --trace-out=bank.json --metrics-out=bank.jsonl
+//
+// The trace file loads in Perfetto / chrome://tracing; each transfer is
+// one connected tree (txn -> bind/invoke/commit spans across nodes).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/system.h"
+#include "core/trace.h"
 
 using namespace gv;
 using core::LockMode;
@@ -80,10 +87,17 @@ std::int64_t stored_balance(ReplicaSystem& sys, Uid obj, sim::NodeId store) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out, metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) trace_out = argv[i] + 12;
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) metrics_out = argv[i] + 14;
+  }
+
   core::SystemConfig cfg;
   cfg.nodes = 10;
   cfg.seed = 7;
+  cfg.tracing = !trace_out.empty();
   ReplicaSystem sys{cfg};
 
   const Uid a = sys.define_object("acct-A", "bank", replication::BankAccount{}.snapshot(), {2},
@@ -98,5 +112,10 @@ int main() {
   std::printf("\nfinal balances: A=%lld B=%lld (expect 200 / 300)\n",
               static_cast<long long>(stored_balance(sys, a, 3)),
               static_cast<long long>(stored_balance(sys, b, 6)));
+
+  if (!trace_out.empty() && sys.trace().write_chrome_trace(trace_out))
+    std::printf("trace: %zu events -> %s\n", sys.trace().events().size(), trace_out.c_str());
+  if (!metrics_out.empty() && sys.metrics().write_jsonl(metrics_out, "bank_transfer"))
+    std::printf("metrics -> %s\n", metrics_out.c_str());
   return 0;
 }

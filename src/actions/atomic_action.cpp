@@ -4,13 +4,16 @@
 
 #include <algorithm>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/log.h"
 
 namespace gv::actions {
 
 ActionRuntime::ActionRuntime(rpc::RpcEndpoint& endpoint, std::uint64_t uid_seed,
-                             CoordinatorLog* log)
-    : endpoint_(endpoint), log_(log), uids_(uid_seed) {}
+                             CoordinatorLog* log, core::TraceRecorder* trace,
+                             core::MetricsRegistry* metrics)
+    : endpoint_(endpoint), log_(log), uids_(uid_seed), trace_(trace), metrics_(metrics) {}
 
 AtomicAction::AtomicAction(ActionRuntime& rt, AtomicAction* parent)
     : rt_(rt), parent_(parent), uid_(rt.new_uid()) {
@@ -73,7 +76,15 @@ sim::Task<Status> AtomicAction::commit_nested() {
 }
 
 sim::Task<Status> AtomicAction::commit_top_level() {
+  const NodeId here = rt_.endpoint().node_id();
+  sim::Simulator& sim = rt_.endpoint().node().sim();
+  auto commit_span = core::trace_span(rt_.trace(), "action.commit_2pc", here, "action",
+                                      uid_.to_string());
+  const sim::SimTime t_start = sim.now();
+
   // Phase 1: all participants must vote yes.
+  auto prepare_span = core::trace_span(rt_.trace(), "action.prepare", here, "action",
+                                       std::to_string(participants_.size()) + " participants");
   bool all_yes = true;
   for (const ParticipantRef& p : participants_) {
     Buffer args;
@@ -89,9 +100,15 @@ sim::Task<Status> AtomicAction::commit_top_level() {
       break;
     }
   }
+  core::metric_record(rt_.metrics(), "commit.prepare_us",
+                      static_cast<double>(sim.now() - t_start));
+  prepare_span.end(all_yes ? "all_yes" : "abort_vote");
 
   if (!all_yes) {
     rt_.counters().inc("action.prepare_failed");
+    GV_LOG(LogLevel::Debug, sim.now(), "action", "2pc %s decision=abort (prepare failed)",
+           uid_.to_string().c_str());
+    commit_span.end("aborted");
     co_return co_await abort();
   }
 
@@ -104,14 +121,25 @@ sim::Task<Status> AtomicAction::commit_top_level() {
   state_ = ActionState::Committed;
   if (rt_.coordinator_log() != nullptr) rt_.coordinator_log()->record(uid_, true);
   rt_.counters().inc("action.committed_top");
+  GV_LOG(LogLevel::Debug, sim.now(), "action", "2pc %s decision=commit",
+         uid_.to_string().c_str());
+  core::trace_instant(rt_.trace(), "action.decision", here, "action", "commit");
 
   // Phase 2.
+  auto phase2_span = core::trace_span(rt_.trace(), "action.phase2", here, "action");
+  const sim::SimTime t_phase2 = sim.now();
   for (const ParticipantRef& p : participants_) {
     Buffer args;
     args.pack_string(p.name).pack_uid(uid_);
     auto r = co_await rt_.endpoint().call(p.node, "txn", "commit", std::move(args));
     if (!r.ok()) rt_.counters().inc("action.commit_phase_miss");
   }
+  core::metric_record(rt_.metrics(), "commit.phase2_us",
+                      static_cast<double>(sim.now() - t_phase2));
+  phase2_span.end();
+  core::metric_record(rt_.metrics(), "commit.total_us",
+                      static_cast<double>(sim.now() - t_start));
+  commit_span.end("committed");
   co_return ok_status();
 }
 
@@ -121,6 +149,10 @@ sim::Task<Status> AtomicAction::abort() {
   if (is_top_level() && rt_.coordinator_log() != nullptr)
     rt_.coordinator_log()->record(uid_, false);
   rt_.counters().inc(is_top_level() ? "action.aborted_top" : "action.aborted_nested");
+  GV_LOG(LogLevel::Debug, rt_.endpoint().node().sim().now(), "action", "2pc %s decision=abort",
+         uid_.to_string().c_str());
+  core::trace_instant(rt_.trace(), "action.decision", rt_.endpoint().node_id(), "action",
+                      "abort");
   const bool nested = !is_top_level();
   for (const ParticipantRef& p : participants_) {
     Buffer args;

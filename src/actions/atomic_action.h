@@ -36,6 +36,11 @@
 #include "util/stats.h"
 #include "util/uid.h"
 
+namespace gv::core {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace gv::core
+
 namespace gv::actions {
 
 using sim::NodeId;
@@ -57,22 +62,33 @@ class CoordinatorLog;
 
 // Per-client runtime shared by all actions of one client process.
 // `log` (optional, one per node) records every top-level decision so
-// in-doubt 2PC participants can resolve after a crash.
+// in-doubt 2PC participants can resolve after a crash. `trace` and
+// `metrics` (optional, owned by the System) receive 2PC phase spans and
+// latency histograms.
 class ActionRuntime {
  public:
   ActionRuntime(rpc::RpcEndpoint& endpoint, std::uint64_t uid_seed,
-                CoordinatorLog* log = nullptr);
+                CoordinatorLog* log = nullptr, core::TraceRecorder* trace = nullptr,
+                core::MetricsRegistry* metrics = nullptr);
 
   Uid new_uid() { return uids_.next(); }
   rpc::RpcEndpoint& endpoint() noexcept { return endpoint_; }
   CoordinatorLog* coordinator_log() noexcept { return log_; }
   Counters& counters() noexcept { return counters_; }
+  core::TraceRecorder* trace() noexcept { return trace_; }
+  core::MetricsRegistry* metrics() noexcept { return metrics_; }
+  void set_obs(core::TraceRecorder* trace, core::MetricsRegistry* metrics) noexcept {
+    trace_ = trace;
+    metrics_ = metrics;
+  }
 
  private:
   rpc::RpcEndpoint& endpoint_;
   CoordinatorLog* log_;
   UidGenerator uids_;
   Counters counters_;
+  core::TraceRecorder* trace_ = nullptr;
+  core::MetricsRegistry* metrics_ = nullptr;
 };
 
 class AtomicAction {

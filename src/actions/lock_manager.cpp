@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/log.h"
+
 namespace gv::actions {
 
 const char* to_string(LockMode m) noexcept {
@@ -52,6 +54,8 @@ sim::Task<Status> LockManager::acquire(std::string resource, LockMode mode, Uid 
   if (e.waiters.empty() && grantable(e, owner, mode, ancestors)) {
     e.holders.push_back({owner, mode});
     counters_.inc("lock.granted_immediate");
+    GV_LOG(LogLevel::Trace, sim_.now(), "lock", "grant %s %s to %s", to_string(mode),
+           resource.c_str(), owner.to_string().c_str());
     co_return ok_status();
   }
   counters_.inc("lock.conflict_wait");
@@ -73,6 +77,8 @@ sim::Task<Status> LockManager::promote(std::string resource, LockMode to, Uid ow
   if (grantable(e, owner, to, {})) {
     it->mode = to;
     counters_.inc(to == LockMode::ExcludeWrite ? "lock.promoted_ew" : "lock.promoted");
+    GV_LOG(LogLevel::Trace, sim_.now(), "lock", "promote %s %s to %s", to_string(to),
+           resource.c_str(), owner.to_string().c_str());
     co_return ok_status();
   }
   // Promotions wait at the FRONT conceptually; we still use the shared
@@ -124,6 +130,8 @@ void LockManager::pump(const std::string& resource) {
       else
         e.holders.push_back({wit->owner, wit->mode});
       auto p = wit->promise;
+      GV_LOG(LogLevel::Trace, sim_.now(), "lock", "promote %s %s to %s", to_string(wit->mode),
+             resource.c_str(), wit->owner.to_string().c_str());
       sim_.cancel(wit->timer_id);
       e.waiters.erase(wit);
       p.set_value(ok_status());
@@ -137,6 +145,8 @@ void LockManager::pump(const std::string& resource) {
     if (grantable(e, head.owner, head.mode, head.ancestors)) {
       e.holders.push_back({head.owner, head.mode});
       auto p = head.promise;
+      GV_LOG(LogLevel::Trace, sim_.now(), "lock", "grant %s %s to %s", to_string(head.mode),
+             resource.c_str(), head.owner.to_string().c_str());
       sim_.cancel(head.timer_id);
       e.waiters.pop_front();
       p.set_value(ok_status());
@@ -150,9 +160,13 @@ void LockManager::release(const std::string& resource, const Uid& owner) {
   auto tit = table_.find(resource);
   if (tit == table_.end()) return;
   auto& holders = tit->second.holders;
+  const std::size_t before = holders.size();
   holders.erase(std::remove_if(holders.begin(), holders.end(),
                                [&](const Holder& h) { return h.owner == owner; }),
                 holders.end());
+  if (holders.size() != before)
+    GV_LOG(LogLevel::Trace, sim_.now(), "lock", "release %s by %s", resource.c_str(),
+           owner.to_string().c_str());
   pump(resource);
 }
 
@@ -186,6 +200,8 @@ void LockManager::transfer(const Uid& child, const Uid& parent) {
       if (h.owner == child) child_holder = &h;
     }
     if (!child_holder) continue;
+    GV_LOG(LogLevel::Trace, sim_.now(), "lock", "transfer %s %s -> %s", res.c_str(),
+           child.to_string().c_str(), parent.to_string().c_str());
     if (parent_holder) {
       if (!stronger_or_equal(parent_holder->mode, child_holder->mode))
         parent_holder->mode = child_holder->mode;

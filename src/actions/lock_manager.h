@@ -83,6 +83,10 @@ class LockManager {
   bool holds(const std::string& resource, const Uid& owner, LockMode at_least) const;
   std::size_t holder_count(const std::string& resource) const;
 
+  // Number of resources with live holders or waiters — the lock-table
+  // depth gauge the metrics registry samples.
+  std::size_t table_depth() const noexcept { return table_.size(); }
+
   Counters& counters() noexcept { return counters_; }
 
  private:

@@ -4,6 +4,101 @@
 
 namespace gv::core {
 
+namespace {
+
+void jsonl_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_num(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void open_line(std::string& out, const std::string& label, const char* kind,
+               const std::string& name) {
+  out += "{\"label\":\"";
+  jsonl_escape_into(out, label);
+  out += "\",\"kind\":\"";
+  out += kind;
+  out += "\",\"name\":\"";
+  jsonl_escape_into(out, name);
+  out += "\"";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::jsonl(const std::string& label) const {
+  std::string out;
+  for (const auto& [name, h] : histograms_) {
+    open_line(out, label, "histogram", name);
+    out += ",\"count\":";
+    append_u64(out, h.count());
+    out += ",\"mean\":";
+    append_num(out, h.mean());
+    out += ",\"p50\":";
+    append_num(out, h.percentile(50));
+    out += ",\"p90\":";
+    append_num(out, h.percentile(90));
+    out += ",\"p99\":";
+    append_num(out, h.percentile(99));
+    out += ",\"min\":";
+    append_num(out, h.min());
+    out += ",\"max\":";
+    append_num(out, h.max());
+    out += "}\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    open_line(out, label, "gauge", name);
+    out += ",\"last\":";
+    append_num(out, g.last);
+    out += ",\"min\":";
+    append_num(out, g.min);
+    out += ",\"max\":";
+    append_num(out, g.max);
+    out += ",\"updates\":";
+    append_u64(out, g.updates);
+    out += "}\n";
+  }
+  for (const auto& [name, value] : counters_.all()) {
+    open_line(out, label, "counter", name);
+    out += ",\"value\":";
+    append_u64(out, value);
+    out += "}\n";
+  }
+  return out;
+}
+
+bool MetricsRegistry::write_jsonl(const std::string& path, const std::string& label) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = jsonl(label);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
 std::string Table::fmt(double v, int precision) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);

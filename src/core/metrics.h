@@ -1,13 +1,92 @@
-// Small reporting helpers shared by the benchmark harnesses: fixed-width
-// tables whose rows mirror the series the experiments produce.
+// Metrics for experiments and campaigns.
+//
+// MetricsRegistry is the per-System sink for the three metric families the
+// observability layer records:
+//   * histograms — operation latencies (GetServer, GetView, Exclude batch,
+//     commit phases, recovery repair) via the streaming gv::Histogram, so
+//     percentiles survive a 750-cell campaign in bounded memory;
+//   * gauges — instantaneous sizes sampled at update time (|Sv|, |St|,
+//     use-list lengths, lock-table depth) with last/min/max retained;
+//   * counters — the existing gv::Counters protocol event counts.
+//
+// Exported as JSONL (one JSON object per metric per line) so campaign and
+// bench runs can dump machine-readable artifacts next to their tables;
+// EXPERIMENTS.md documents how to regenerate figures from these dumps.
+//
+// Table/print_counters are the original fixed-width stdout helpers the
+// bench harnesses use for human-readable reporting.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "util/stats.h"
 
 namespace gv::core {
+
+class MetricsRegistry {
+ public:
+  struct Gauge {
+    double last = 0;
+    double min = 0;
+    double max = 0;
+    std::uint64_t updates = 0;
+  };
+
+  // Named histogram, created on first use. Convention: dotted component
+  // path with unit suffix, e.g. "naming.getserver_us", "commit.prepare_us".
+  gv::Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  void gauge_set(const std::string& name, double value) {
+    Gauge& g = gauges_[name];
+    if (g.updates == 0) {
+      g.min = g.max = value;
+    } else {
+      if (value < g.min) g.min = value;
+      if (value > g.max) g.max = value;
+    }
+    g.last = value;
+    ++g.updates;
+  }
+
+  gv::Counters& counters() noexcept { return counters_; }
+  const gv::Counters& counters() const noexcept { return counters_; }
+
+  const std::map<std::string, gv::Histogram>& histograms() const noexcept { return histograms_; }
+  const std::map<std::string, Gauge>& gauges() const noexcept { return gauges_; }
+
+  void clear() {
+    histograms_.clear();
+    gauges_.clear();
+    counters_.reset();
+  }
+
+  // One JSON object per line:
+  //   {"label":...,"kind":"histogram","name":...,"count":...,"mean":...,
+  //    "p50":...,"p90":...,"p99":...,"min":...,"max":...}
+  //   {"label":...,"kind":"gauge","name":...,"last":...,"min":...,"max":...,
+  //    "updates":...}
+  //   {"label":...,"kind":"counter","name":...,"value":...}
+  // `label` identifies the run (bench name + config, campaign cell id).
+  std::string jsonl(const std::string& label) const;
+  bool write_jsonl(const std::string& path, const std::string& label) const;
+
+ private:
+  std::map<std::string, gv::Histogram> histograms_;
+  std::map<std::string, Gauge> gauges_;
+  gv::Counters counters_;
+};
+
+// Null-tolerant helpers mirroring trace_span/trace_instant: components
+// outside a ReplicaSystem pass nullptr and record nothing.
+inline void metric_record(MetricsRegistry* m, const std::string& name, double value) {
+  if (m != nullptr) m->histogram(name).record(value);
+}
+
+inline void metric_gauge(MetricsRegistry* m, const std::string& name, double value) {
+  if (m != nullptr) m->gauge_set(name, value);
+}
 
 class Table {
  public:

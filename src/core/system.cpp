@@ -9,7 +9,9 @@ ReplicaSystem::ReplicaSystem(SystemConfig cfg)
       net_(sim_, cluster_, cfg.net),
       gc_(sim_, cluster_, net_) {
   cluster_.add_nodes(cfg_.nodes);
+  if (cfg_.tracing) trace_.enable(cfg_.trace_ring);
   fabric_ = std::make_unique<rpc::RpcFabric>(cluster_, net_, cfg_.rpc);
+  fabric_->set_obs(&trace_, &metrics_);
   replication::register_stock_classes(classes_);
 
   for (NodeId id = 0; id < cfg_.nodes; ++id) {
@@ -24,6 +26,7 @@ ReplicaSystem::ReplicaSystem(SystemConfig cfg)
     recovery_.push_back(std::make_unique<replication::RecoveryDaemon>(
         cluster_.node(id), fabric_->endpoint(id), *stores_.back(), naming_node(),
         hosts_.back().get()));
+    recovery_.back()->runtime().set_obs(&trace_, &metrics_);
     if (cfg_.start_store_reaper) stores_.back()->start_reaper(cfg_.store_reaper_period);
     if (cfg_.start_view_probe && id != naming_node())
       recovery_.back()->start_view_probe(cfg_.view_probe_period);
@@ -34,6 +37,8 @@ ReplicaSystem::ReplicaSystem(SystemConfig cfg)
                                                 fabric_->endpoint(naming_node()),
                                                 *txns_[naming_node()], cfg_.naming,
                                                 cfg_.exclude_policy);
+  gvdb_->servers().set_obs(&trace_, &metrics_);
+  gvdb_->states().set_obs(&trace_, &metrics_);
   janitor_ = std::make_unique<naming::UseListJanitor>(gvdb_->servers(),
                                                       fabric_->endpoint(naming_node()),
                                                       cfg_.janitor_period);

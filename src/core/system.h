@@ -26,6 +26,8 @@
 #include <unordered_map>
 
 #include "actions/coordinator_log.h"
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "core/transaction.h"
 #include "naming/group_view_db.h"
 #include "naming/janitor.h"
@@ -71,6 +73,12 @@ struct SystemConfig {
   // hook never fired) and drives re-Include once the partition heals.
   bool start_view_probe = false;
   sim::SimTime view_probe_period = 500 * sim::kMillisecond;
+  // Causal tracing (core/trace.h). Off by default; the TraceContext is
+  // propagated either way, so flipping this cannot change event order —
+  // only whether spans are recorded. `trace_ring` bounds memory: the
+  // oldest events are evicted (and counted) past that many.
+  bool tracing = false;
+  std::size_t trace_ring = TraceRecorder::kDefaultCapacity;
 };
 
 class ReplicaSystem {
@@ -92,6 +100,12 @@ class ReplicaSystem {
   naming::UseListJanitor& janitor() noexcept { return *janitor_; }
   NodeId naming_node() const noexcept { return 0; }
   const SystemConfig& config() const noexcept { return cfg_; }
+
+  // ---- observability -----------------------------------------------------
+  TraceRecorder& trace() noexcept { return trace_; }
+  const TraceRecorder& trace() const noexcept { return trace_; }
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
 
   // ---- object life cycle -------------------------------------------------
   // Define a persistent object: writes its initial state (version 1) to
@@ -120,6 +134,8 @@ class ReplicaSystem {
  private:
   SystemConfig cfg_;
   sim::Simulator sim_;
+  TraceRecorder trace_{sim_};
+  MetricsRegistry metrics_;
   sim::Cluster cluster_;
   sim::Network net_;
   rpc::GroupComm gc_;

@@ -1,0 +1,229 @@
+#include "core/trace.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+namespace gv::core {
+
+void TraceRecorder::enable(std::size_t capacity) {
+  enabled_ = true;
+  capacity = capacity == 0 ? 1 : capacity;
+  if (capacity != capacity_ && !ring_.empty()) {
+    // Re-linearize under the new capacity (rare: enable() with a
+    // different ring size after events were already recorded).
+    std::vector<TraceEvent> lin;
+    const std::size_t n = ring_.size();
+    const std::size_t start = n > capacity ? n - capacity : 0;
+    lin.reserve(n - start);
+    for (std::size_t i = start; i < n; ++i) lin.push_back(std::move(const_cast<TraceEvent&>(at(i))));
+    dropped_ += start;
+    ring_ = std::move(lin);
+    head_ = 0;
+  }
+  capacity_ = capacity;
+}
+
+TraceEvent& TraceRecorder::next_slot() {
+  if (ring_.size() < capacity_) return ring_.emplace_back();
+  TraceEvent& slot = ring_[head_];
+  head_ = head_ + 1 < capacity_ ? head_ + 1 : 0;
+  ++dropped_;
+  return slot;
+}
+
+TraceRecorder::Span TraceRecorder::begin_span_under(TraceContext parent, std::string name,
+                                                    sim::NodeId node, const char* component,
+                                                    std::string detail) {
+  if (!enabled_) return {};
+  const std::uint64_t id = next_id_++;
+  TraceContext ctx{parent.trace != 0 ? parent.trace : id, id};
+  TraceEvent& ev = next_slot();
+  ev.kind = TraceKind::Begin;
+  ev.ended = false;
+  ev.trace = ctx.trace;
+  ev.span = id;
+  ev.parent = parent.span;
+  ev.at = sim_.now();
+  ev.end_at = 0;
+  ev.node = node;
+  ev.component = component;
+  // Copy-assign into the recycled slot: once the ring is warm each slot's
+  // strings keep their capacity, so recording is a memcpy with no
+  // allocator traffic (the caller's temporary dies either way).
+  ev.name.assign(name);
+  ev.detail.assign(detail);
+  ev.outcome.clear();
+  const TraceContext prev = current_trace_context();
+  set_current_trace_context(ctx);
+  return Span{this, ctx, prev, static_cast<std::size_t>(&ev - ring_.data())};
+}
+
+void TraceRecorder::Span::end(std::string detail) {
+  if (rec_ == nullptr) return;
+  TraceRecorder* rec = rec_;
+  rec_ = nullptr;
+  // Fold the end into the Begin slot if it is still in the ring (one push
+  // per span, and the exporter needs no end-matching pass). An evicted
+  // Begin means the whole span has aged out — nothing to record.
+  if (rec->enabled() && slot_ < rec->ring_.size()) {
+    TraceEvent& ev = rec->ring_[slot_];
+    if (ev.kind == TraceKind::Begin && ev.span == ctx_.span) {
+      ev.ended = true;
+      ev.end_at = rec->sim_.now();
+      ev.outcome.assign(detail);
+    }
+  }
+  set_current_trace_context(prev_);
+}
+
+void TraceRecorder::instant(std::string name, sim::NodeId node, const char* component,
+                            std::string detail) {
+  if (!enabled_) return;
+  const TraceContext ctx = current_trace_context();
+  TraceEvent& ev = next_slot();
+  ev.kind = TraceKind::Instant;
+  ev.ended = false;
+  ev.trace = ctx.trace;
+  ev.span = ctx.span;
+  ev.parent = 0;
+  ev.at = sim_.now();
+  ev.end_at = 0;
+  ev.node = node;
+  ev.component = component;
+  ev.name.assign(name);
+  ev.detail.assign(detail);
+  ev.outcome.clear();
+}
+
+namespace {
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string TraceRecorder::chrome_trace_json() const {
+  // First pass: which spans still have their Begin in the ring (eviction
+  // may have dangled parent references).
+  std::unordered_set<std::uint64_t> begun;
+  for (const TraceEvent& ev : events())
+    if (ev.kind == TraceKind::Begin) begun.insert(ev.span);
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit_common = [&](const TraceEvent& ev, const char* ph) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    json_escape_into(out, ev.name);
+    out += "\",\"cat\":\"";
+    json_escape_into(out, ev.component == nullptr || ev.component[0] == '\0' ? "gv"
+                                                                             : ev.component);
+    out += "\",\"ph\":\"";
+    out += ph;
+    out += "\",\"ts\":";
+    append_u64(out, ev.at);
+    out += ",\"pid\":";
+    append_u64(out, ev.node);
+    out += ",\"tid\":";
+    append_u64(out, ev.trace);
+  };
+
+  // Ring order is simulated-time order (pushes happen at sim.now()), so
+  // emitting in ring order keeps ts monotonically non-decreasing.
+  for (const TraceEvent& ev : events()) {
+    if (ev.kind == TraceKind::Begin) {
+      emit_common(ev, "X");
+      // A span still open when the ring was exported runs to "now".
+      const sim::SimTime end = ev.ended ? ev.end_at : sim_.now();
+      out += ",\"dur\":";
+      append_u64(out, end >= ev.at ? end - ev.at : 0);
+      out += ",\"args\":{\"span\":";
+      append_u64(out, ev.span);
+      out += ",\"parent\":";
+      // A parent evicted from the ring would be a dangling reference;
+      // report such spans as roots.
+      append_u64(out, begun.count(ev.parent) > 0 ? ev.parent : 0);
+      if (!ev.detail.empty()) {
+        out += ",\"detail\":\"";
+        json_escape_into(out, ev.detail);
+        out += "\"";
+      }
+      if (!ev.outcome.empty()) {
+        out += ",\"outcome\":\"";
+        json_escape_into(out, ev.outcome);
+        out += "\"";
+      }
+      out += "}}";
+    } else {
+      emit_common(ev, "i");
+      out += ",\"s\":\"t\",\"args\":{\"span\":";
+      append_u64(out, begun.count(ev.span) > 0 ? ev.span : 0);
+      if (!ev.detail.empty()) {
+        out += ",\"detail\":\"";
+        json_escape_into(out, ev.detail);
+        out += "\"";
+      }
+      out += "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::string TraceRecorder::tail(std::size_t max_events) const {
+  std::string out;
+  const std::size_t start = ring_.size() > max_events ? ring_.size() - max_events : 0;
+  if (dropped_ > 0 || start > 0) {
+    out += "  ... (";
+    append_u64(out, dropped_ + start);
+    out += " earlier events not shown)\n";
+  }
+  for (std::size_t i = start; i < ring_.size(); ++i) {
+    const TraceEvent& ev = at(i);
+    char line[256];
+    const char* kind = ev.kind == TraceKind::Begin ? (ev.ended ? "SPAN " : "OPEN ") : "INST ";
+    std::snprintf(line, sizeof(line), "  [%10llu.%03llu] %s n%-2u t%-5llu s%-5llu %-10s %-24s %s%s%s\n",
+                  static_cast<unsigned long long>(ev.at / 1000),
+                  static_cast<unsigned long long>(ev.at % 1000), kind, ev.node,
+                  static_cast<unsigned long long>(ev.trace),
+                  static_cast<unsigned long long>(ev.span), ev.component, ev.name.c_str(),
+                  ev.detail.c_str(), ev.outcome.empty() ? "" : " => ",
+                  ev.outcome.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace gv::core

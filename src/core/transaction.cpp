@@ -10,7 +10,7 @@ ClientSession::ClientSession(ReplicaSystem& sys, NodeId node, naming::Scheme sch
       node_(node),
       scheme_(scheme),
       runtime_(sys.endpoint(node), /*uid_seed=*/0xC0DE0000ull + node,
-               &sys.coordinator_log_at(node)),
+               &sys.coordinator_log_at(node), &sys.trace(), &sys.metrics()),
       activator_(runtime_, sys.naming_node(), sys.gc(), scheme),
       commit_(runtime_, sys.naming_node()),
       ginv_(sys.endpoint(node), sys.gc()) {}
@@ -25,7 +25,16 @@ Transaction::Transaction(ClientSession& session) : Transaction(session, nullptr)
 Transaction::Transaction(ClientSession& session, Transaction* parent)
     : session_(session),
       parent_(parent),
-      action_(session.runtime(), parent ? &parent->action_ : nullptr) {}
+      action_(session.runtime(), parent ? &parent->action_ : nullptr) {
+  begin_at_ = session.runtime().endpoint().node().sim().now();
+  // Top-level transactions root a fresh trace tree; nested ones hang off
+  // the parent's root so the whole action stays one connected tree.
+  span_ = trace_span_under(session.runtime().trace(),
+                           parent != nullptr ? parent->trace_ctx_ : TraceContext{},
+                           parent != nullptr ? "txn.nested" : "txn", session.node(), "txn",
+                           action_.uid().to_string());
+  trace_ctx_ = span_.context();
+}
 
 std::unique_ptr<Transaction> Transaction::nest() {
   return std::unique_ptr<Transaction>(new Transaction(session_, this));
@@ -53,6 +62,8 @@ sim::Task<Result<ActiveBinding*>> Transaction::bound(Uid object) {
 sim::Task<Result<Buffer>> Transaction::invoke(Uid object, std::string op, Buffer args,
                                               LockMode mode) {
   if (finished()) co_return Err::Aborted;
+  auto span = trace_span_under(session_.runtime().trace(), trace_ctx_, "txn.invoke",
+                               session_.node(), "txn", op + " " + object.to_string());
   auto b = co_await bound(object);
   if (!b.ok()) co_return b.error();
   ActiveBinding& ab = *b.value();
@@ -91,15 +102,23 @@ sim::Task<Status> Transaction::commit() {
         parent_->bindings_.emplace(uid, std::move(binding));
       bindings_.clear();
     }
+    span_.end(s.ok() ? "inherited" : "aborted");
     co_return s;
   }
 
+  auto span = trace_span_under(session_.runtime().trace(), trace_ctx_, "txn.commit",
+                               session_.node(), "txn");
   std::vector<ActiveBinding*> bs;
   bs.reserve(bindings_.size());
   for (auto& [uid, binding] : bindings_) bs.push_back(&binding);
   Status s = co_await session_.commit_processor().commit(action_, bs);
   session_.counters().inc(s.ok() ? "session.txn_committed" : "session.txn_aborted");
   co_await release_use_lists();
+  span.end(s.ok() ? "committed" : "aborted");
+  sim::Simulator& sim = session_.runtime().endpoint().node().sim();
+  metric_record(session_.runtime().metrics(), "txn.total_us",
+                static_cast<double>(sim.now() - begin_at_));
+  span_.end(s.ok() ? "committed" : "aborted");
   co_return s;
 }
 
@@ -110,6 +129,7 @@ sim::Task<Status> Transaction::abort() {
     session_.counters().inc("session.txn_aborted");
     co_await release_use_lists();
   }
+  span_.end("aborted");
   co_return s;
 }
 

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "actions/atomic_action.h"
+#include "core/trace.h"
 #include "naming/binder.h"
 #include "replication/activator.h"
 #include "replication/commit_processor.h"
@@ -93,6 +94,12 @@ class Transaction {
   Transaction* parent_ = nullptr;
   actions::AtomicAction action_;
   std::map<Uid, ActiveBinding> bindings_;
+  // Root span for the whole action (a child of the parent's for nested
+  // transactions); invoke/commit open their spans under trace_ctx_ so the
+  // tree stays connected even when calls arrive from different coroutines.
+  TraceRecorder::Span span_;
+  TraceContext trace_ctx_{};
+  sim::SimTime begin_at_ = 0;
 };
 
 }  // namespace gv::core

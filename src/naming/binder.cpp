@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/log.h"
 
 namespace gv::naming {
@@ -18,6 +20,8 @@ const char* to_string(Scheme s) noexcept {
 sim::Task<Result<BindResult>> Binder::bind(Uid object, std::size_t want,
                                            actions::AtomicAction* client_action, Probe probe) {
   counters_.inc("bind.attempts");
+  auto span = core::trace_span(rt_.trace(), "bind", rt_.endpoint().node_id(), "binder",
+                               std::string(to_string(scheme_)) + " " + object.to_string());
   if (scheme_ == Scheme::StandardNested) {
     if (client_action == nullptr) co_return Err::BadRequest;  // S1 needs the client action
     co_return co_await bind_standard(object, want, *client_action, probe);
@@ -30,16 +34,24 @@ sim::Task<Result<BindResult>> Binder::bind_standard(Uid object, std::size_t want
                                                     Probe& probe) {
   // Fig 6: GetServer as a nested action; the read lock survives into the
   // client action via inheritance.
+  sim::Simulator& sim = rt_.endpoint().node().sim();
   actions::AtomicAction nested{rt_, &client_action};
+  const sim::SimTime t0 = sim.now();
   auto view = co_await osdb_get_server(rt_.endpoint(), naming_node_, object, nested.uid());
+  core::metric_record(rt_.metrics(), "naming.getserver_us",
+                      static_cast<double>(sim.now() - t0));
   nested.enlist({naming_node_, kOsdbService});
   if (!view.ok()) {
     (void)co_await nested.abort();
     counters_.inc("bind.getserver_failed");
     co_return view.error();
   }
+  core::metric_gauge(rt_.metrics(), "naming.sv_size",
+                     static_cast<double>(view.value().sv.size()));
   Status nc = co_await nested.commit();
   if (!nc.ok()) co_return Err::Aborted;
+  GV_LOG(LogLevel::Debug, sim.now(), "binder", "s1 getserver lock inherited by %s",
+         client_action.uid().to_string().c_str());
 
   // Fixed selection algorithm: walk Sv in database order. Sv is the
   // *static* set of potential servers, so dead nodes are discovered only
@@ -78,14 +90,20 @@ sim::Task<Result<BindResult>> Binder::bind_enhanced(Uid object, std::size_t want
   // Write lock up front (update-mode read): this action WILL Increment
   // and possibly Remove; starting with a shared read lock would deadlock
   // two concurrent binders at promotion time.
+  sim::Simulator& sim = rt_.endpoint().node().sim();
+  const sim::SimTime t0 = sim.now();
   auto view =
       co_await osdb_get_server(rt_.endpoint(), naming_node_, object, act.uid(), true);
+  core::metric_record(rt_.metrics(), "naming.getserver_us",
+                      static_cast<double>(sim.now() - t0));
   act.enlist({naming_node_, kOsdbService});
   if (!view.ok()) {
     (void)co_await act.abort();
     counters_.inc("bind.getserver_failed");
     co_return view.error();
   }
+  core::metric_gauge(rt_.metrics(), "naming.sv_size",
+                     static_cast<double>(view.value().sv.size()));
 
   // Candidate order: if any use list is non-empty the object is already
   // active — bind only to servers with non-zero counters (sec 4.1.3(i));

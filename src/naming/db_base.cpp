@@ -1,6 +1,8 @@
 #include "naming/db_base.h"
 
 #include "actions/coordinator_log.h"
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/log.h"
 
 namespace gv::naming {
@@ -28,6 +30,8 @@ void NamingDbBase::note_activity(const Uid& action, NodeId owner) {
   auto& rec = owners_[action];
   rec.node = owner;
   rec.last_seen = node_.sim().now();
+  core::metric_gauge(metrics_, "naming.lock_table_depth",
+                     static_cast<double>(locks_.table_depth()));
 }
 
 void NamingDbBase::trigger_orphan_sweep() {
@@ -91,6 +95,9 @@ sim::Task<std::uint32_t> NamingDbBase::sweep_orphans() {
     ++aborted;
     counters_.inc(aged ? "db.orphan_aged_out" : "db.orphan_owner_dead");
   }
+  if (aborted > 0)
+    core::trace_instant(trace_, "db.orphan_sweep", node_.id(), "naming",
+                        std::to_string(aborted) + " aborted");
   co_return aborted;
 }
 

@@ -25,6 +25,11 @@
 #include "store/object_store.h"
 #include "util/uid.h"
 
+namespace gv::core {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace gv::core
+
 namespace gv::naming {
 
 using sim::NodeId;
@@ -59,6 +64,12 @@ class NamingDbBase : public actions::ServerParticipant {
   actions::LockManager& locks() noexcept { return locks_; }
   Counters& counters() noexcept { return counters_; }
   NamingConfig& config() noexcept { return cfg_; }
+
+  // Attach the System's observability sinks (both nullable).
+  void set_obs(core::TraceRecorder* trace, core::MetricsRegistry* metrics) noexcept {
+    trace_ = trace;
+    metrics_ = metrics;
+  }
 
   // Number of actions with live undo records (diagnostics).
   std::size_t active_actions() const noexcept { return undo_.size(); }
@@ -105,6 +116,8 @@ class NamingDbBase : public actions::ServerParticipant {
   std::map<Uid, ActionOwner> owners_;
   bool sweep_in_progress_ = false;
   Counters counters_;
+  core::TraceRecorder* trace_ = nullptr;
+  core::MetricsRegistry* metrics_ = nullptr;
 
 
  private:

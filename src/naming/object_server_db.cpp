@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/log.h"
 
 namespace gv::naming {
@@ -123,6 +125,10 @@ sim::Task<Status> ObjectServerDb::increment(Uid object, NodeId client, std::vect
   }
   Entry& e = entries_.find(object)->second;
   for (NodeId host : hosts) ++e.use[host][client];
+  std::uint64_t total_uses = 0;
+  for (const auto& [server, clients] : e.use)
+    for (const auto& [c, n] : clients) total_uses += n;
+  core::metric_gauge(metrics_, "naming.use_list_len", static_cast<double>(total_uses));
   push_undo(action, [this, object, client, hosts] {
     auto eit = entries_.find(object);
     if (eit == entries_.end()) return;
@@ -159,6 +165,10 @@ sim::Task<Status> ObjectServerDb::decrement(Uid object, NodeId client, std::vect
     --cit->second;
     if (cit->second == 0) uit->second.erase(cit);
   }
+  std::uint64_t total_uses = 0;
+  for (const auto& [server, clients] : e.use)
+    for (const auto& [c, n] : clients) total_uses += n;
+  core::metric_gauge(metrics_, "naming.use_list_len", static_cast<double>(total_uses));
   push_undo(action, [this, object, client, hosts] {
     auto eit = entries_.find(object);
     if (eit == entries_.end()) return;

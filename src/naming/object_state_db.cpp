@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/log.h"
 
 namespace gv::naming {
@@ -44,6 +46,9 @@ sim::Task<Result<std::vector<NodeId>>> ObjectStateDb::get_view(Uid object, Uid a
 
 sim::Task<Status> ObjectStateDb::exclude(std::vector<ExcludeItem> items, Uid action) {
   counters_.inc("ostdb.exclude");
+  auto span = core::trace_span(trace_, "ostdb.exclude", node_.id(), "naming",
+                               std::to_string(items.size()) + " items by " + action.to_string());
+  const sim::SimTime t_batch = node_.sim().now();
   const actions::LockMode mode = policy_ == ExcludePolicy::ExcludeWriteLock
                                      ? actions::LockMode::ExcludeWrite
                                      : actions::LockMode::Write;
@@ -70,9 +75,13 @@ sim::Task<Status> ObjectStateDb::exclude(std::vector<ExcludeItem> items, Uid act
     }
     if (!removed.empty()) {
       counters_.inc("ostdb.excluded_nodes", removed.size());
-      for (NodeId host : removed)
+      core::metric_gauge(metrics_, "naming.st_size", static_cast<double>(e.st.size()));
+      for (NodeId host : removed) {
         GV_LOG(LogLevel::Debug, node_.sim().now(), "ostdb", "exclude %u from %s by %s", host,
                item.object.to_string().c_str(), action.to_string().c_str());
+        core::trace_instant(trace_, "ostdb.excluded", node_.id(), "naming",
+                            "node " + std::to_string(host) + " from " + item.object.to_string());
+      }
       push_undo(action, [this, object = item.object, removed, action] {
         auto eit = entries_.find(object);
         if (eit == entries_.end()) return;
@@ -84,6 +93,9 @@ sim::Task<Status> ObjectStateDb::exclude(std::vector<ExcludeItem> items, Uid act
       });
     }
   }
+  core::metric_record(metrics_, "naming.exclude_batch_us",
+                      static_cast<double>(node_.sim().now() - t_batch));
+  span.end("ok");
   co_return ok_status();
 }
 
@@ -102,7 +114,10 @@ sim::Task<Status> ObjectStateDb::include(Uid object, NodeId host, Uid action) {
   if (std::find(e.st.begin(), e.st.end(), host) != e.st.end()) co_return ok_status();
   GV_LOG(LogLevel::Debug, node_.sim().now(), "ostdb", "include %u into %s by %s", host,
          object.to_string().c_str(), action.to_string().c_str());
+  core::trace_instant(trace_, "ostdb.included", node_.id(), "naming",
+                      "node " + std::to_string(host) + " into " + object.to_string());
   e.st.push_back(host);
+  core::metric_gauge(metrics_, "naming.st_size", static_cast<double>(e.st.size()));
   push_undo(action, [this, object, host] {
     auto eit = entries_.find(object);
     if (eit == entries_.end()) return;

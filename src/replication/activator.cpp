@@ -1,5 +1,7 @@
 #include "replication/activator.h"
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/log.h"
 
 namespace gv::replication {
@@ -15,15 +17,22 @@ const char* to_string(ReplicationPolicy p) noexcept {
 
 sim::Task<Result<ActiveBinding>> Activator::bind_and_activate(ObjectSpec spec,
                                                               actions::AtomicAction& action) {
+  auto span = core::trace_span(rt_.trace(), "activate", rt_.endpoint().node_id(), "activator",
+                               spec.uid.to_string());
   // St(A) is read under the client's action: the read lock both pins the
   // view for the action's lifetime and is the lock the commit processor
   // later promotes to EXCLUDE-WRITE if stores fail.
+  sim::Simulator& sim = rt_.endpoint().node().sim();
+  const sim::SimTime t0 = sim.now();
   auto st = co_await naming::ostdb_get_view(rt_.endpoint(), naming_node_, spec.uid, action.uid());
+  core::metric_record(rt_.metrics(), "naming.getview_us", static_cast<double>(sim.now() - t0));
   action.enlist({naming_node_, naming::kOstdbService});
   if (!st.ok()) {
     counters_.inc("activate.getview_failed");
     co_return st.error();
   }
+  core::metric_gauge(rt_.metrics(), "naming.st_size_read",
+                     static_cast<double>(st.value().size()));
 
   // Probe: ask the candidate node to (idempotently) activate the object.
   // A node that is down, cannot reach any St store, or lacks the class

@@ -1,5 +1,7 @@
 #include "replication/commit_processor.h"
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "store/object_store.h"
 #include "util/log.h"
 
@@ -7,13 +9,22 @@ namespace gv::replication {
 
 sim::Task<Status> CommitProcessor::commit(actions::AtomicAction& action,
                                           std::vector<ActiveBinding*> bindings) {
+  const NodeId here = rt_.endpoint().node_id();
+  sim::Simulator& sim = rt_.endpoint().node().sim();
+  auto stage_span = core::trace_span(rt_.trace(), "commit.stage", here, "commit",
+                                     std::to_string(bindings.size()) + " objects");
+  const sim::SimTime t_stage = sim.now();
   for (ActiveBinding* b : bindings) {
     Status staged = co_await stage_object(action, *b);
     if (!staged.ok()) {
       counters_.inc("commit.stage_failed");
+      stage_span.end("failed");
       co_return co_await action.abort();
     }
   }
+  core::metric_record(rt_.metrics(), "commit.stage_us",
+                      static_cast<double>(sim.now() - t_stage));
+  stage_span.end("staged");
 
   Status committed = co_await action.commit();
   if (!committed.ok()) {
@@ -24,6 +35,7 @@ sim::Task<Status> CommitProcessor::commit(actions::AtomicAction& action,
 
   // Post-commit bookkeeping (best effort; failures here are repaired by
   // the recovery protocol, not by the already-decided action).
+  auto post_span = core::trace_span(rt_.trace(), "commit.post", here, "commit");
   for (ActiveBinding* b : bindings) {
     if (b->staged_version == 0) continue;  // read-only: nothing changed
     for (NodeId server : b->bind.servers)

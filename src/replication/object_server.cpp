@@ -1,6 +1,8 @@
 #include "replication/object_server.h"
 
 #include "actions/coordinator_log.h"
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/log.h"
 
 namespace gv::replication {
@@ -335,28 +337,36 @@ void ObjectServerHost::join_group(const Uid& object) {
 void ObjectServerHost::on_group_deliver(NodeId, Buffer msg) {
   auto inv_id = msg.unpack_u64();
   auto reply_to = msg.unpack_u32();
+  auto wire_trace = msg.unpack_u64();
+  auto wire_span = msg.unpack_u64();
   auto object = msg.unpack_uid();
   auto action = msg.unpack_uid();
   auto ancestors = msg.unpack_uid_vector();
   auto mode = msg.unpack_u8();
   auto op = msg.unpack_string();
   auto args = msg.unpack_bytes();
-  if (!inv_id.ok() || !reply_to.ok() || !object.ok() || !action.ok() || !ancestors.ok() ||
-      !mode.ok() || !op.ok() || !args.ok())
+  if (!inv_id.ok() || !reply_to.ok() || !wire_trace.ok() || !wire_span.ok() || !object.ok() ||
+      !action.ok() || !ancestors.ok() || !mode.ok() || !op.ok() || !args.ok())
     return;
-  // Apply and reply point-to-point; the handler runs as its own process.
-  node_.sim().spawn([](ObjectServerHost& self, std::uint64_t inv, NodeId reply_to, Uid object,
-                       Uid action, std::vector<Uid> ancestors, actions::LockMode mode,
-                       std::string op, Buffer args) -> sim::Task<> {
+  const TraceContext wire_ctx{wire_trace.value(), wire_span.value()};
+  // Apply and reply point-to-point; the handler runs as its own process,
+  // parented under the client's multicast span so every member of the
+  // fan-out hangs off the same invocation node in the trace tree.
+  node_.sim().spawn([](ObjectServerHost& self, std::uint64_t inv, NodeId reply_to,
+                       TraceContext wire_ctx, Uid object, Uid action, std::vector<Uid> ancestors,
+                       actions::LockMode mode, std::string op, Buffer args) -> sim::Task<> {
+    auto span = core::trace_span_under(self.endpoint_.trace(), wire_ctx, "ginv.serve",
+                                       self.node_.id(), "ginv", object.to_string());
     Result<Buffer> r = co_await self.invoke(object, action, std::move(ancestors), mode,
                                             std::move(op), std::move(args), reply_to);
+    span.end(r.ok() ? "ok" : to_string(r.error()));
     Buffer reply;
     reply.pack_u64(inv);
     reply.pack_u32(static_cast<std::uint32_t>(r.ok() ? Err::None : r.error()));
     reply.pack_bytes(r.ok() ? r.value() : Buffer{});
     // One-way notification; errors are irrelevant (client takes first).
     (void)co_await self.endpoint_.call(reply_to, "ginv", "reply", std::move(reply));
-  }(*this, inv_id.value(), reply_to.value(), object.value(), action.value(),
+  }(*this, inv_id.value(), reply_to.value(), wire_ctx, object.value(), action.value(),
     std::move(ancestors).value(), static_cast<actions::LockMode>(mode.value()),
     std::move(op).value(), std::move(args).value()));
 }
@@ -561,6 +571,12 @@ sim::Task<Result<Buffer>> GroupInvoker::invoke(const std::string& group, Uid obj
                                                actions::LockMode mode, std::string op,
                                                Buffer args, sim::SimTime timeout) {
   const std::uint64_t inv = next_id_++;
+  auto span = core::trace_span(endpoint_.trace(), "ginv.invoke", endpoint_.node_id(), "ginv",
+                               op + " " + object.to_string());
+  // The span (or the caller's ambient context when not recording) rides
+  // the multicast payload so every member's handler parents under it.
+  const TraceContext ctx = current_trace_context();
+  const sim::SimTime t0 = endpoint_.node().sim().now();
   sim::SimPromise<Result<Buffer>> promise{endpoint_.node().sim()};
   auto future = promise.future();
   pending_.emplace(inv, promise);
@@ -570,11 +586,14 @@ sim::Task<Result<Buffer>> GroupInvoker::invoke(const std::string& group, Uid obj
     auto p = it->second;
     pending_.erase(it);
     counters_.inc("ginv.timeout");
+    core::trace_instant(endpoint_.trace(), "ginv.timeout", endpoint_.node_id(), "ginv");
     p.set_value(Err::Timeout);
   });
 
   Buffer msg;
-  msg.pack_u64(inv).pack_u32(endpoint_.node_id()).pack_uid(object).pack_uid(action);
+  msg.pack_u64(inv).pack_u32(endpoint_.node_id());
+  msg.pack_u64(ctx.trace).pack_u64(ctx.span);
+  msg.pack_uid(object).pack_uid(action);
   msg.pack_uid_vector(ancestors);
   msg.pack_u8(static_cast<std::uint8_t>(mode)).pack_string(op).pack_bytes(args);
   gc_.multicast(endpoint_.node_id(), group, std::move(msg), rpc::McastMode::ReliableOrdered);
@@ -582,6 +601,9 @@ sim::Task<Result<Buffer>> GroupInvoker::invoke(const std::string& group, Uid obj
 
   Result<Buffer> result = co_await future;
   pending_.erase(inv);
+  core::metric_record(endpoint_.metrics(), "ginv.invoke_us",
+                      static_cast<double>(endpoint_.node().sim().now() - t0));
+  span.end(result.ok() ? "ok" : to_string(result.error()));
   co_return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/backoff.h"
 #include "util/log.h"
 
@@ -64,6 +66,8 @@ sim::Task<std::uint32_t> RecoveryDaemon::probe_views() {
     // let the standard repair path validate, refresh, and re-Include.
     store_.mark_suspect(object);
     counters_.inc("recovery.probe_demoted");
+    core::trace_instant(runtime_.trace(), "recovery.probe_demoted", node_.id(), "recovery",
+                        object.to_string());
     ++demoted;
   }
   // Repair whenever anything is suspect — this pass's demotions AND
@@ -93,6 +97,9 @@ sim::Task<> RecoveryDaemon::view_probe_loop(std::uint64_t epoch, sim::SimTime pe
 
 sim::Task<std::uint32_t> RecoveryDaemon::repair() {
   counters_.inc("recovery.pass");
+  auto span = core::trace_span(runtime_.trace(), "recovery.repair", node_.id(), "recovery",
+                               std::to_string(store_.suspect_objects().size()) + " suspect");
+  const sim::SimTime t0 = node_.sim().now();
   std::uint32_t refreshed = 0;
 
   // Presume abort for aged orphan shadows up front: the pending-shadow
@@ -116,6 +123,9 @@ sim::Task<std::uint32_t> RecoveryDaemon::repair() {
     const bool done = co_await reinsert_server(object);
     if (done) reinserted_.insert(object);
   }
+  core::metric_record(runtime_.metrics(), "recovery.repair_us",
+                      static_cast<double>(node_.sim().now() - t0));
+  span.end(std::to_string(refreshed) + " refreshed");
   co_return refreshed;
 }
 

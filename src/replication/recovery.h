@@ -70,6 +70,9 @@ class RecoveryDaemon {
   void stop_view_probe() noexcept { view_probe_running_ = false; }
 
   Counters& counters() noexcept { return counters_; }
+  // Repair passes run as their own top-level actions; the owning System
+  // attaches its recorder/registry here so they trace like client ones.
+  actions::ActionRuntime& runtime() noexcept { return runtime_; }
 
  private:
   // Result of scanning the St members for the newest committed state.

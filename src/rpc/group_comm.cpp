@@ -87,7 +87,7 @@ void GroupComm::deliver_ordered(const std::string& group, NodeId member, NodeId 
     return;
   }
   Member& m = mit->second;
-  m.pending.emplace(seq, std::make_pair(from, std::move(msg)));
+  m.pending.emplace(seq, PendingMsg{from, std::move(msg), current_trace_context()});
   // Flush the in-sequence prefix. Re-find the member each iteration: the
   // upcall may itself mutate group membership.
   while (true) {
@@ -98,11 +98,14 @@ void GroupComm::deliver_ordered(const std::string& group, NodeId member, NodeId 
     Member& mm = mit2->second;
     auto next = mm.pending.find(mm.next_seq);
     if (next == mm.pending.end()) return;
-    auto [src, payload] = std::move(next->second);
+    PendingMsg pending = std::move(next->second);
     mm.pending.erase(next);
     ++mm.next_seq;
     counters_.inc("gc.deliver_ordered");
-    mm.upcall(src, mm.next_seq - 1, std::move(payload));
+    // Deliver under the originating multicast's context, not the context
+    // of whichever arrival triggered this flush.
+    TraceContextScope scope(pending.ctx);
+    mm.upcall(pending.from, mm.next_seq - 1, std::move(pending.msg));
   }
 }
 

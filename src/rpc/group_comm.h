@@ -30,6 +30,7 @@
 #include "sim/simulator.h"
 #include "util/buffer.h"
 #include "util/stats.h"
+#include "util/trace_context.h"
 
 namespace gv::rpc {
 
@@ -70,10 +71,19 @@ class GroupComm {
   Counters& counters() noexcept { return counters_; }
 
  private:
+  // A sequenced message buffered at a member until its turn. The sender's
+  // TraceContext is retained so a delivery flushed later (out-of-order
+  // arrival) is still attributed to the multicast that produced it, not to
+  // the message whose arrival triggered the flush.
+  struct PendingMsg {
+    NodeId from = sim::kNoNode;
+    Buffer msg;
+    TraceContext ctx;
+  };
   struct Member {
     Deliver upcall;
-    std::uint64_t next_seq = 1;                 // next in-sequence delivery
-    std::map<std::uint64_t, std::pair<NodeId, Buffer>> pending;  // buffered out-of-order
+    std::uint64_t next_seq = 1;  // next in-sequence delivery
+    std::map<std::uint64_t, PendingMsg> pending;  // buffered out-of-order
   };
   struct Group {
     std::vector<NodeId> member_ids;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "util/log.h"
 
 namespace gv::rpc {
@@ -79,6 +81,14 @@ sim::Task<Result<Buffer>> RpcEndpoint::call(NodeId dest, std::string service, st
                                             Buffer args, sim::SimTime timeout) {
   if (!node_.up()) co_return Err::NodeDown;
 
+  const std::string op = service + "." + method;
+  auto span =
+      core::trace_span(trace_, "rpc." + op, node_.id(), "rpc", "dest=" + std::to_string(dest));
+  // Propagate the ambient context (the span when recording, the caller's
+  // context otherwise) so the server parents its handler correctly.
+  const TraceContext ctx = current_trace_context();
+  const sim::SimTime t0 = node_.sim().now();
+
   const std::uint64_t req_id = next_req_id_++;
   sim::SimPromise<Result<Buffer>> promise{node_.sim()};
   auto future = promise.future();
@@ -87,6 +97,7 @@ sim::Task<Result<Buffer>> RpcEndpoint::call(NodeId dest, std::string service, st
     if (it == outstanding_.end()) return;
     auto p = it->second.first;
     outstanding_.erase(it);
+    core::trace_instant(trace_, "rpc.timeout", node_.id(), "rpc");
     p.set_value(Err::Timeout);
   });
   outstanding_.emplace(req_id, std::make_pair(promise, timer));
@@ -95,16 +106,28 @@ sim::Task<Result<Buffer>> RpcEndpoint::call(NodeId dest, std::string service, st
   msg.pack_u8(kKindRequest)
       .pack_u64(req_id)
       .pack_u64(0)  // no epoch expectation (unbound call)
-      .pack_string(service + "." + method)
+      .pack_u64(ctx.trace)
+      .pack_u64(ctx.span)
+      .pack_string(op)
       .pack_bytes(args);
   net_.send(node_.id(), dest, std::move(msg));
-  co_return co_await future;
+  Result<Buffer> result = co_await future;
+  core::metric_record(metrics_, "rpc." + op + "_us",
+                      static_cast<double>(node_.sim().now() - t0));
+  span.end(result.ok() ? "ok" : to_string(result.error()));
+  co_return result;
 }
 
 sim::Task<Result<Buffer>> RpcEndpoint::call_bound(Binding& binding, std::string service,
                                                   std::string method, Buffer args) {
   if (!binding.valid()) co_return Err::BindingBroken;
   if (!node_.up()) co_return Err::NodeDown;
+
+  const std::string op = service + "." + method;
+  auto span = core::trace_span(trace_, "rpc." + op, node_.id(), "rpc",
+                               "bound dest=" + std::to_string(binding.server));
+  const TraceContext ctx = current_trace_context();
+  const sim::SimTime t0 = node_.sim().now();
 
   const std::uint64_t req_id = next_req_id_++;
   sim::SimPromise<Result<Buffer>> promise{node_.sim()};
@@ -114,6 +137,7 @@ sim::Task<Result<Buffer>> RpcEndpoint::call_bound(Binding& binding, std::string 
     if (it == outstanding_.end()) return;
     auto p = it->second.first;
     outstanding_.erase(it);
+    core::trace_instant(trace_, "rpc.timeout", node_.id(), "rpc");
     p.set_value(Err::Timeout);
   });
   outstanding_.emplace(req_id, std::make_pair(promise, timer));
@@ -122,17 +146,23 @@ sim::Task<Result<Buffer>> RpcEndpoint::call_bound(Binding& binding, std::string 
   msg.pack_u8(kKindRequest)
       .pack_u64(req_id)
       .pack_u64(binding.epoch + 1)  // expected incarnation (+1: 0 = none)
-      .pack_string(service + "." + method)
+      .pack_u64(ctx.trace)
+      .pack_u64(ctx.span)
+      .pack_string(op)
       .pack_bytes(args);
   net_.send(node_.id(), binding.server, std::move(msg));
 
   Result<Buffer> result = co_await future;
+  core::metric_record(metrics_, "rpc." + op + "_us",
+                      static_cast<double>(node_.sim().now() - t0));
   if (!result.ok() && (result.error() == Err::Timeout || result.error() == Err::BindingBroken ||
                        result.error() == Err::NodeDown)) {
     // The server incarnation is gone or unreachable; per sec 3.1 the
     // binding is broken for the remainder of the action.
     binding.broken = true;
+    core::trace_instant(trace_, "rpc.binding_broken", node_.id(), "rpc", op);
   }
+  span.end(result.ok() ? "ok" : to_string(result.error()));
   co_return result;
 }
 
@@ -143,6 +173,9 @@ sim::Task<Result<Buffer>> RpcEndpoint::call_with_retry(NodeId dest, std::string 
   Result<Buffer> result = Err::Timeout;
   for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
+      core::trace_instant(trace_, "rpc.retry", node_.id(), "rpc",
+                          service + "." + method + " attempt=" + std::to_string(attempt + 1));
+      if (metrics_ != nullptr) metrics_->counters().inc("rpc.retries");
       co_await node_.sim().sleep(backoff.next());
       if (!node_.up()) co_return Err::NodeDown;
     }
@@ -179,10 +212,12 @@ void RpcEndpoint::on_request(NodeId from, std::uint64_t req_id, Buffer msg) {
   // retries under a fresh req_id — exactly as for a lost request.
   if (!first_delivery(from, req_id)) return;
   auto expected_epoch = msg.unpack_u64();
+  auto wire_trace = msg.unpack_u64();
+  auto wire_span = msg.unpack_u64();
   auto key = msg.unpack_string();
   auto args = msg.unpack_bytes();
   const std::uint64_t epoch_now = node_.epoch();
-  if (!expected_epoch.ok() || !key.ok() || !args.ok()) {
+  if (!expected_epoch.ok() || !wire_trace.ok() || !wire_span.ok() || !key.ok() || !args.ok()) {
     send_reply(from, req_id, Err::BadRequest, epoch_now);
     return;
   }
@@ -191,20 +226,27 @@ void RpcEndpoint::on_request(NodeId from, std::uint64_t req_id, Buffer msg) {
     send_reply(from, req_id, Err::BindingBroken, epoch_now);
     return;
   }
-  node_.sim().spawn(run_handler(from, req_id, std::move(key).value(), std::move(args).value()));
+  node_.sim().spawn(run_handler(from, req_id, std::move(key).value(), std::move(args).value(),
+                                TraceContext{wire_trace.value(), wire_span.value()}));
 }
 
 sim::Task<> RpcEndpoint::run_handler(NodeId from, std::uint64_t req_id, std::string key,
-                                     Buffer args) {
+                                     Buffer args, TraceContext wire_ctx) {
   const std::uint64_t epoch_at_receipt = node_.epoch();
+  // The server-side span parents under the context carried on the wire,
+  // connecting this handler (and its nested calls) to the client's tree.
+  auto span = core::trace_span_under(trace_, wire_ctx, "rpc.serve." + key, node_.id(), "rpc",
+                                     "from=" + std::to_string(from));
   auto it = methods_.find(key);
   if (it == methods_.end()) {
+    span.end("not_found");
     send_reply(from, req_id, Err::NotFound, epoch_at_receipt);
     co_return;
   }
   // Copy the handler so re-registration during a suspended call is safe.
   Method handler = it->second;
   Result<Buffer> result = co_await handler(from, std::move(args));
+  span.end(result.ok() ? "ok" : to_string(result.error()));
   send_reply(from, req_id, result, epoch_at_receipt);
 }
 

@@ -27,6 +27,12 @@
 #include "util/buffer.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/trace_context.h"
+
+namespace gv::core {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace gv::core
 
 namespace gv::rpc {
 
@@ -102,11 +108,22 @@ class RpcEndpoint {
   NodeId node_id() const noexcept { return node_.id(); }
   RpcConfig& config() noexcept { return cfg_; }
 
+  // Attach observability sinks (both nullable). The ambient TraceContext
+  // rides the request wire format either way, so cross-node parenting
+  // works even when only one side records.
+  void set_obs(core::TraceRecorder* trace, core::MetricsRegistry* metrics) noexcept {
+    trace_ = trace;
+    metrics_ = metrics;
+  }
+  core::TraceRecorder* trace() const noexcept { return trace_; }
+  core::MetricsRegistry* metrics() const noexcept { return metrics_; }
+
  private:
   void on_message(NodeId from, Buffer msg);
   void on_request(NodeId from, std::uint64_t req_id, Buffer msg);
   void on_reply(std::uint64_t req_id, Buffer msg);
-  sim::Task<> run_handler(NodeId from, std::uint64_t req_id, std::string key, Buffer args);
+  sim::Task<> run_handler(NodeId from, std::uint64_t req_id, std::string key, Buffer args,
+                          TraceContext wire_ctx);
   void send_reply(NodeId to, std::uint64_t req_id, const Result<Buffer>& result,
                   std::uint64_t epoch_at_receipt);
 
@@ -122,6 +139,8 @@ class RpcEndpoint {
   sim::Network& net_;
   RpcConfig cfg_;
   Rng rng_;  // forked from the sim RNG: retry jitter
+  core::TraceRecorder* trace_ = nullptr;
+  core::MetricsRegistry* metrics_ = nullptr;
   std::uint64_t next_req_id_ = 1;
   std::unordered_map<std::string, Method> methods_;
   // req_id -> (reply promise, timeout event id)
@@ -141,6 +160,10 @@ class RpcFabric {
   RpcFabric(sim::Cluster& cluster, sim::Network& net, RpcConfig cfg = {});
 
   RpcEndpoint& endpoint(NodeId id) { return *endpoints_.at(id); }
+
+  void set_obs(core::TraceRecorder* trace, core::MetricsRegistry* metrics) noexcept {
+    for (auto& ep : endpoints_) ep->set_obs(trace, metrics);
+  }
 
  private:
   std::vector<std::unique_ptr<RpcEndpoint>> endpoints_;

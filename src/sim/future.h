@@ -60,14 +60,22 @@ class [[nodiscard]] SimFuture {
 
   bool valid() const noexcept { return state_ != nullptr; }
 
+  // The awaiter captures the waiter's trace context and restores it on
+  // resumption: the resolver (an RPC reply, a timer) runs under its OWN
+  // context, and without the restore the waiting coroutine would continue
+  // under the resolver's spans.
   auto operator co_await() const noexcept {
     struct Awaiter {
       std::shared_ptr<typename SimPromise<T>::State> state;
+      TraceContext ctx;
       bool await_ready() const noexcept { return state->value.has_value(); }
       void await_suspend(std::coroutine_handle<> h) noexcept { state->waiter = h; }
-      T await_resume() { return std::move(*state->value); }
+      T await_resume() {
+        set_current_trace_context(ctx);
+        return std::move(*state->value);
+      }
     };
-    return Awaiter{state_};
+    return Awaiter{state_, current_trace_context()};
   }
 
  private:

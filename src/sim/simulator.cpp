@@ -21,7 +21,9 @@ Detached drive(Task<> task) { co_await std::move(task); }
 
 std::uint64_t Simulator::schedule(SimTime delay, std::function<void()> fn) {
   const std::uint64_t id = next_seq_++;
-  events_.push(Event{now_ + delay, id, std::move(fn)});
+  // Capture the scheduler's causal context so timers and deliveries run
+  // attributed to the work that armed them (util/trace_context.h).
+  events_.push(Event{now_ + delay, id, std::move(fn), current_trace_context()});
   return id;
 }
 
@@ -35,12 +37,14 @@ bool Simulator::step() {
     // before pop, so copy the metadata and move the closure via const_cast
     // (safe: we pop immediately and never touch the source again).
     auto& top = const_cast<Event&>(events_.top());
-    Event ev{top.at, top.seq, std::move(top.fn)};
+    Event ev{top.at, top.seq, std::move(top.fn), top.ctx};
     events_.pop();
     if (cancelled_.erase(ev.seq) > 0) continue;  // skip cancelled
     now_ = ev.at;
     ++processed_;
+    set_current_trace_context(ev.ctx);
     ev.fn();
+    set_current_trace_context({});  // no leakage between events
     return true;
   }
   return false;

@@ -15,6 +15,7 @@
 
 #include "sim/task.h"
 #include "util/rng.h"
+#include "util/trace_context.h"
 
 namespace gv::sim {
 
@@ -45,15 +46,18 @@ class Simulator {
   void spawn(Task<> task);
 
   // Awaitable: suspend the current coroutine for `delay` simulated time.
+  // The trace context is captured at suspension and restored at
+  // resumption, so the sleeping coroutine keeps its own causal context.
   auto sleep(SimTime delay) {
     struct Awaiter {
       Simulator* sim;
       SimTime delay;
+      TraceContext ctx = current_trace_context();
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) {
         sim->schedule(delay, [h] { h.resume(); });
       }
-      void await_resume() const noexcept {}
+      void await_resume() const noexcept { set_current_trace_context(ctx); }
     };
     return Awaiter{this, delay};
   }
@@ -71,6 +75,7 @@ class Simulator {
     SimTime at;
     std::uint64_t seq;  // tie-break: FIFO among same-time events
     std::function<void()> fn;
+    TraceContext ctx;  // causal context captured at schedule time
   };
   struct EventOrder {
     bool operator()(const Event& a, const Event& b) const noexcept {

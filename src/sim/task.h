@@ -16,6 +16,8 @@
 #include <optional>
 #include <utility>
 
+#include "util/trace_context.h"
+
 namespace gv::sim {
 
 template <typename T>
@@ -86,22 +88,27 @@ class [[nodiscard]] Task {
   bool done() const noexcept { return handle_ && handle_.done(); }
 
   // Awaiting a Task: start it lazily with the awaiter as continuation.
+  // The awaiter captures the caller's trace context at the co_await and
+  // restores it on resumption, so a child task cannot leak its causal
+  // context (spans it opened) into the parent.
   auto operator co_await() && noexcept {
     struct Awaiter {
       std::coroutine_handle<promise_type> handle;
+      TraceContext ctx;
       bool await_ready() const noexcept { return !handle || handle.done(); }
       std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
         handle.promise().continuation = cont;
         return handle;  // start the child coroutine
       }
       T await_resume() {
+        set_current_trace_context(ctx);
         if constexpr (!std::is_void_v<T>) {
           assert(handle.promise().value.has_value());
           return std::move(*handle.promise().value);
         }
       }
     };
-    return Awaiter{handle_};
+    return Awaiter{handle_, current_trace_context()};
   }
 
   // For the detached driver: direct access (library-internal).

@@ -1,6 +1,7 @@
 #include "store/object_store.h"
 
 #include "actions/coordinator_log.h"
+#include "core/trace.h"
 
 #include "util/backoff.h"
 #include "util/log.h"
@@ -124,6 +125,8 @@ sim::Task<> ObjectStore::resolve_in_doubt(std::uint64_t epoch) {
     if (it == shadows_.end()) continue;
     if (outcome == actions::TxnOutcome::Committed) {
       counters_.inc("store.in_doubt_committed");
+      core::trace_instant(endpoint_.trace(), "store.in_doubt_resolved", node_.id(), "store",
+                          txn.to_string() + " committed");
       (void)commit(txn);
     } else {
       // Aborted, or Unknown after retries: presume abort (the blocking
@@ -233,7 +236,11 @@ std::size_t ObjectStore::reap_orphan_shadows(sim::SimTime min_age) {
     it = shadows_.erase(it);
     ++reaped;
   }
-  if (reaped > 0) counters_.inc("store.reaped_orphan_shadows", reaped);
+  if (reaped > 0) {
+    counters_.inc("store.reaped_orphan_shadows", reaped);
+    core::trace_instant(endpoint_.trace(), "store.shadow_reaped", node_.id(), "store",
+                        std::to_string(reaped) + " presumed abort");
+  }
   if (need_resolve) node_.sim().spawn(resolve_in_doubt(node_.epoch()));
   return reaped;
 }

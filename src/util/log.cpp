@@ -5,6 +5,13 @@
 namespace gv {
 
 LogLevel Log::level_ = LogLevel::Off;
+Log::Sink Log::sink_ = nullptr;
+
+Log::Sink Log::set_sink(Sink sink) {
+  Sink prev = std::move(sink_);
+  sink_ = std::move(sink);
+  return prev;
+}
 
 void Log::write(LogLevel lvl, std::uint64_t now_us, const char* component, const char* fmt, ...) {
   if (level_ < lvl) return;
@@ -16,14 +23,18 @@ void Log::write(LogLevel lvl, std::uint64_t now_us, const char* component, const
     case LogLevel::Trace: tag = "T"; break;
     case LogLevel::Off: return;
   }
-  std::fprintf(stderr, "[%s %10llu.%03llu %-10s] ", tag,
-               static_cast<unsigned long long>(now_us / 1000),
-               static_cast<unsigned long long>(now_us % 1000), component);
+  char message[512];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vsnprintf(message, sizeof(message), fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (sink_) {
+    sink_(lvl, now_us, component, message);
+    return;
+  }
+  std::fprintf(stderr, "[%s %10llu.%03llu %-10s] %s\n", tag,
+               static_cast<unsigned long long>(now_us / 1000),
+               static_cast<unsigned long long>(now_us % 1000), component, message);
 }
 
 }  // namespace gv

@@ -3,10 +3,17 @@
 // Off by default (benchmarks and tests run silent); enable with
 // Log::set_level to watch protocol traces, e.g. every Exclude the commit
 // processor issues. printf-style to keep call sites terse.
+//
+// Output goes through a pluggable sink: the default writes the classic
+// "[T 123.456 component] message" line to stderr, while tests install a
+// capturing sink and assert on the protocol trace (e.g. that S1 holds the
+// GetServer read lock until client commit). The sink receives the
+// formatted message, not the varargs.
 #pragma once
 
 #include <cstdarg>
 #include <cstdint>
+#include <functional>
 
 namespace gv {
 
@@ -22,8 +29,38 @@ class Log {
   static void write(LogLevel lvl, std::uint64_t now_us, const char* component, const char* fmt,
                     ...) __attribute__((format(printf, 4, 5)));
 
+  // Route every line through `sink` instead of stderr; pass nullptr to
+  // restore the default. The previous sink is returned so scoped capture
+  // (tests) can chain/restore.
+  using Sink = std::function<void(LogLevel lvl, std::uint64_t now_us, const char* component,
+                                  const char* message)>;
+  static Sink set_sink(Sink sink);
+
  private:
   static LogLevel level_;
+  static Sink sink_;
+};
+
+// Install a capturing sink for the lifetime of the scope, restoring the
+// previous sink (and level) on destruction. Raises the level so the
+// capture actually sees Debug/Trace lines without the caller touching
+// global state by hand.
+class ScopedLogCapture {
+ public:
+  explicit ScopedLogCapture(Log::Sink sink, LogLevel level = LogLevel::Trace)
+      : prev_level_(Log::level()), prev_sink_(Log::set_sink(std::move(sink))) {
+    Log::set_level(level);
+  }
+  ~ScopedLogCapture() {
+    Log::set_level(prev_level_);
+    Log::set_sink(std::move(prev_sink_));
+  }
+  ScopedLogCapture(const ScopedLogCapture&) = delete;
+  ScopedLogCapture& operator=(const ScopedLogCapture&) = delete;
+
+ private:
+  LogLevel prev_level_;
+  Log::Sink prev_sink_;
 };
 
 #define GV_LOG(lvl, now, component, ...)                      \

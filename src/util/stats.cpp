@@ -44,6 +44,70 @@ double Summary::percentile(double p) const {
   return sorted[lo] * (1 - frac) + sorted[hi] * frac;
 }
 
+// ------------------------------------------------------------ Histogram
+
+namespace {
+// Bucket boundaries grow by 2^(1/8) per index; index 0 covers [1, 2^(1/8)).
+constexpr double kLogBase = 0.08664339756999316;  // ln(2)/8
+constexpr std::int32_t kUnderflowBucket = INT32_MIN;
+}  // namespace
+
+std::int32_t Histogram::bucket_of(double v) noexcept {
+  if (!(v > 0)) return kUnderflowBucket;  // <=0 and NaN share the underflow bucket
+  return static_cast<std::int32_t>(std::floor(std::log(v) / kLogBase));
+}
+
+double Histogram::bucket_lower(std::int32_t idx) noexcept {
+  if (idx == kUnderflowBucket) return 0.0;
+  return std::exp(kLogBase * static_cast<double>(idx));
+}
+
+void Histogram::record(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[bucket_of(v)];
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (const auto& [idx, n] : buckets_) {
+    if (static_cast<double>(seen + n) >= target) {
+      if (idx == kUnderflowBucket) return std::min(0.0, max_);
+      const double lo = bucket_lower(idx);
+      const double hi = bucket_lower(idx + 1);
+      // Interpolate by the fraction of the target rank inside this bucket.
+      const double frac =
+          n == 0 ? 0.0 : (target - static_cast<double>(seen)) / static_cast<double>(n);
+      const double est = lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+      return std::min(max_, std::max(min_, est));
+    }
+    seen += n;
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (const auto& [idx, n] : other.buckets_) buckets_[idx] += n;
+}
+
 std::uint64_t Counters::get(const std::string& name) const {
   auto it = counts_.find(name);
   return it == counts_.end() ? 0 : it->second;

@@ -1,0 +1,64 @@
+// Causal trace context: the (trace, span) pair that links every event an
+// application action causes — across coroutine suspensions, RPC hops and
+// group multicasts — into one tree (core/trace.h records it).
+//
+// Propagation model: the simulation is single-threaded, so a single
+// ambient "current context" suffices, PROVIDED it follows the logical
+// task rather than the raw event chain. Three mechanisms keep it attached
+// to the right work:
+//
+//   * Simulator::schedule captures the context at scheduling time and
+//     restores it around the callback (timers and message deliveries run
+//     under their scheduler's context);
+//   * the Task / SimFuture / sleep awaiters capture the context at
+//     suspension and restore it at resumption (a coroutine keeps its own
+//     context no matter which event resumed it);
+//   * the RPC layer and group invoker carry the context on the wire so a
+//     remote handler's spans parent correctly across nodes.
+//
+// The context is ALWAYS tracked (it is two u64 copies); whether anything
+// is recorded against it is the TraceRecorder's concern. Tracking never
+// schedules events, consumes randomness, or branches on context values,
+// so enabling/disabling tracing cannot perturb the simulation.
+#pragma once
+
+#include <cstdint>
+
+namespace gv {
+
+struct TraceContext {
+  std::uint64_t trace = 0;  // id of the root span's tree (0 = none)
+  std::uint64_t span = 0;   // innermost live span (0 = none)
+
+  bool valid() const noexcept { return span != 0; }
+
+  friend bool operator==(const TraceContext& a, const TraceContext& b) noexcept {
+    return a.trace == b.trace && a.span == b.span;
+  }
+};
+
+namespace detail {
+inline TraceContext g_trace_context{};
+}  // namespace detail
+
+inline TraceContext current_trace_context() noexcept { return detail::g_trace_context; }
+inline void set_current_trace_context(TraceContext ctx) noexcept {
+  detail::g_trace_context = ctx;
+}
+
+// Save/set/restore for synchronous segments (e.g. adopting a wire context
+// before spawning a handler coroutine).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx) noexcept : prev_(current_trace_context()) {
+    set_current_trace_context(ctx);
+  }
+  ~TraceContextScope() { set_current_trace_context(prev_); }
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace gv
