@@ -1,0 +1,212 @@
+// Ablation A4: the sec-6 group-view cache, cold / warm / under
+// invalidation churn, across the three binding schemes of figs 6-8.
+//
+// Four modes per scheme, all on the fault-free 4-object workload:
+//
+//   uncached — SystemConfig::view_cache off: the scheme's classic naming
+//              traffic (per-object GetView + the scheme's use-list work).
+//   cold     — cache on, but wiped before every transaction: measures
+//              the fill cost (one batched get_views per txn) without any
+//              reuse. The worst case for the cache.
+//   warm     — cache on, prefetched once: the intended operating point.
+//              Zero naming RPCs at bind, one batched validate at commit.
+//   churn    — cache on and warm, but a background actor keeps Excluding
+//              and re-Including a store of every object, so cached
+//              epochs keep going stale: commits abort with StaleView and
+//              the workload retries once after a refetch. Measures what
+//              invalidation-heavy conditions cost (and that they cost
+//              availability nothing once retried).
+#include "bench/scheme_common.h"
+
+#include "actions/atomic_action.h"
+#include "naming/object_state_db.h"
+
+using namespace gv;
+using namespace gv::bench;
+
+namespace {
+
+enum class Mode { Uncached, Cold, Warm, Churn };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::Uncached: return "uncached";
+    case Mode::Cold: return "cold";
+    case Mode::Warm: return "warm";
+    case Mode::Churn: return "churn";
+  }
+  return "?";
+}
+
+struct ModeResult {
+  WorkloadResult wl;
+  std::uint64_t fill_rpcs = 0;
+  std::uint64_t stale_aborts = 0;
+  std::uint64_t classic_getviews = 0;
+};
+
+// The background invalidator: flap one store of every object in and out
+// of its St via its own top-level actions, bumping the St epoch each
+// time. Runs until the stop flag flips.
+sim::Task<> churn_driver(core::ReplicaSystem& sys, actions::ActionRuntime& rt,
+                         std::vector<Uid> objs, const bool& stop) {
+  while (!stop) {
+    for (const Uid& obj : objs) {
+      {
+        actions::AtomicAction act{rt};
+        std::vector<naming::ExcludeItem> items;
+        items.push_back(naming::ExcludeItem{obj, {7}});
+        Status s = co_await naming::ostdb_exclude(rt.endpoint(), 0, std::move(items), act.uid());
+        act.enlist({0, naming::kOstdbService});
+        if (s.ok()) (void)co_await act.commit(); else (void)co_await act.abort();
+      }
+      {
+        actions::AtomicAction act{rt};
+        Status s = co_await naming::ostdb_include(rt.endpoint(), 0, obj, 7, act.uid());
+        act.enlist({0, naming::kOstdbService});
+        if (s.ok()) (void)co_await act.commit(); else (void)co_await act.abort();
+      }
+    }
+    co_await sys.sim().sleep(60 * sim::kMillisecond);
+  }
+}
+
+ModeResult run_mode(naming::Scheme scheme, Mode mode, std::uint64_t seed, Summary* latency) {
+  SystemConfig cfg;
+  cfg.nodes = 14;
+  cfg.seed = seed;
+  cfg.scheme = scheme;
+  cfg.view_cache = mode != Mode::Uncached;
+  cfg.naming.lock_wait = 250 * sim::kMillisecond;
+  core::ReplicaSystem sys{cfg};
+
+  std::vector<Uid> objs;
+  for (int i = 0; i < 4; ++i)
+    objs.push_back(sys.define_object("o" + std::to_string(i), "counter",
+                                     replication::Counter{}.snapshot(), {2, 3, 4, 5}, {6, 7},
+                                     ReplicationPolicy::Active, 2));
+
+  ModeResult out;
+  bool stop = false;
+  auto* client = sys.client(8);
+  if (mode == Mode::Churn) {
+    // The invalidator's own action runtime (node 9); lives for the run.
+    actions::ActionRuntime churn_rt{sys.endpoint(9), 0xC4C4E + seed};
+    sys.sim().spawn(churn_driver(sys, churn_rt, objs, stop));
+    sys.sim().spawn([](core::ReplicaSystem& sys, core::ClientSession* client,
+                       std::vector<Uid> objs, ModeResult& out, Summary* latency,
+                       bool& stop) -> sim::Task<> {
+      (void)co_await client->prefetch(objs);
+      for (int i = 0; i < 30; ++i) {
+        ++out.wl.attempted;
+        const sim::SimTime start = sys.sim().now();
+        // Up to 3 attempts: StaleView refetches are expected here.
+        for (int attempt = 0; attempt < 3; ++attempt) {
+          auto txn = client->begin();
+          bool ok = true;
+          for (const Uid& obj : objs)
+            if (!(co_await txn->invoke(obj, "add", i64_buf(1), core::LockMode::Write)).ok()) {
+              ok = false;
+              break;
+            }
+          if (!ok) {
+            (void)co_await txn->abort();
+            break;
+          }
+          Status s = co_await txn->commit();
+          if (s.ok()) {
+            ++out.wl.committed;
+            if (latency)
+              latency->add(static_cast<double>(sys.sim().now() - start) / sim::kMillisecond);
+            break;
+          }
+          if (s.error() != Err::StaleView) break;
+        }
+        co_await sys.sim().sleep(20 * sim::kMillisecond);
+      }
+      stop = true;
+    }(sys, client, objs, out, latency, stop));
+    sys.sim().run_until(120 * sim::kSecond);
+    stop = true;
+    sys.sim().run_until(121 * sim::kSecond);
+  } else {
+    sys.sim().spawn([](core::ReplicaSystem& sys, core::ClientSession* client,
+                       std::vector<Uid> objs, Mode mode, ModeResult& out,
+                       Summary* latency) -> sim::Task<> {
+      if (mode == Mode::Warm) (void)co_await client->prefetch(objs);
+      for (int i = 0; i < 30; ++i) {
+        if (mode == Mode::Cold && sys.view_cache_at(8) != nullptr) sys.view_cache_at(8)->clear();
+        ++out.wl.attempted;
+        const sim::SimTime start = sys.sim().now();
+        auto txn = client->begin();
+        bool ok = true;
+        for (const Uid& obj : objs)
+          if (!(co_await txn->invoke(obj, "add", i64_buf(1), core::LockMode::Write)).ok()) {
+            ok = false;
+            break;
+          }
+        if (!ok) {
+          (void)co_await txn->abort();
+        } else if ((co_await txn->commit()).ok()) {
+          ++out.wl.committed;
+          if (latency)
+            latency->add(static_cast<double>(sys.sim().now() - start) / sim::kMillisecond);
+        }
+        co_await sys.sim().sleep(20 * sim::kMillisecond);
+      }
+    }(sys, client, objs, mode, out, latency));
+    sys.sim().run_until(120 * sim::kSecond);
+  }
+
+  const Counters agg = sys.aggregate_counters();
+  out.fill_rpcs = agg.get("gvdb.get_views");
+  out.stale_aborts = agg.get("commit.validate_stale");
+  out.classic_getviews = agg.get("ostdb.get_view");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_out = parse_json_out(argc, argv);
+  BenchJson json("ablation_view_cache");
+  std::printf("A4: group-view cache ablation (sec 6) — 4-object txns, 5 seeds\n\n");
+  core::Table table({"scheme", "mode", "availability", "median (ms)", "p99 (ms)", "fills",
+                     "stale aborts", "GetViews"});
+  const std::vector<std::pair<const char*, naming::Scheme>> schemes{
+      {"S1", naming::Scheme::StandardNested},
+      {"S2", naming::Scheme::IndependentTopLevel},
+      {"S3", naming::Scheme::NestedTopLevel},
+  };
+  for (const auto& [name, scheme] : schemes) {
+    for (Mode mode : {Mode::Uncached, Mode::Cold, Mode::Warm, Mode::Churn}) {
+      ModeResult sum;
+      Summary latency;
+      for (auto seed : seeds()) {
+        ModeResult r = run_mode(scheme, mode, seed, &latency);
+        sum.wl.attempted += r.wl.attempted;
+        sum.wl.committed += r.wl.committed;
+        sum.fill_rpcs += r.fill_rpcs;
+        sum.stale_aborts += r.stale_aborts;
+        sum.classic_getviews += r.classic_getviews;
+      }
+      table.add_row({name, mode_name(mode), core::Table::fmt_pct(sum.wl.availability()),
+                     core::Table::fmt(latency.percentile(50)),
+                     core::Table::fmt(latency.percentile(99)), std::to_string(sum.fill_rpcs),
+                     std::to_string(sum.stale_aborts), std::to_string(sum.classic_getviews)});
+      const std::string key = std::string(name) + "_" + mode_name(mode);
+      json.add_summary(key, latency);
+      json.add_scalar(key + "_availability", sum.wl.availability());
+    }
+  }
+  table.print("view-cache ablation");
+  std::printf("\nExpected shape: warm beats uncached on the median in every scheme\n"
+              "(four naming round trips collapse into one batched validate); cold\n"
+              "sits between them (one batched fill per txn still beats four serial\n"
+              "GetViews); churn gives up part of the win to StaleView retries but\n"
+              "keeps availability at 100%% — staleness costs latency, never\n"
+              "correctness.\n");
+  if (!json_out.empty() && !json.write(json_out))
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+  return 0;
+}

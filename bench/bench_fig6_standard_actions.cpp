@@ -16,6 +16,8 @@ using namespace gv::bench;
 
 int main(int argc, char** argv) {
   const ObsOptions obs = parse_obs(argc, argv);
+  const std::string json_out = parse_json_out(argc, argv);
+  BenchJson json("fig6");
   std::printf("F6 / Figure 6: standard nested atomic actions (scheme S1)\n");
   std::printf("30 txns per client, 5 seeds; Sv={2,3,4,5}, servers 2,3 dead all run\n");
   core::Table table({"clients", "availability", "stale probes", "Removes", "txn latency (ms)",
@@ -36,8 +38,13 @@ int main(int argc, char** argv) {
     table.add_row({std::to_string(clients), core::Table::fmt_pct(sum.wl.availability()),
                    std::to_string(sum.stale_probes), std::to_string(sum.removes),
                    core::Table::fmt(latency.mean()), std::to_string(sum.db_lock_conflicts)});
+    json.add_summary("churn_c" + std::to_string(clients), latency);
+    json.add_scalar("churn_c" + std::to_string(clients) + "_availability",
+                    sum.wl.availability());
   }
   table.print("scheme S1 under churn");
+  if (!json_out.empty() && !json.write(json_out))
+    std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
   std::printf("\nExpected shape: stale probes GROW with client count (every client\n"
               "re-discovers each dead server); Removes are identically zero (the\n"
               "scheme cannot repair Sv). Clients themselves never take write locks\n"

@@ -117,4 +117,59 @@ inline void dump_obs(core::ReplicaSystem& sys, const ObsOptions& obs, const std:
   }
 }
 
+// --------------------------------------------------------- BENCH_*.json
+// Machine-readable benchmark artifact for perf gating: every series is a
+// latency Summary reduced to {median, p99, mean, count} (sim-time
+// milliseconds — deterministic in the seed set, so CI can compare
+// medians across commits without wall-clock noise); scalars carry
+// availability-style ratios. Written only when --json-out=PATH is given.
+// scripts/bench_gate.py compares these files against bench/baselines/.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void add_summary(const std::string& series, const Summary& s) {
+    series_.emplace_back(series, Row{s.percentile(50), s.percentile(99), s.mean(), s.count()});
+  }
+  void add_scalar(const std::string& name, double value) { scalars_.emplace_back(name, value); }
+
+  bool write(const std::string& path) const {
+    if (path.empty()) return false;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"series\": {", bench_.c_str());
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      const auto& [name, row] = series_[i];
+      std::fprintf(f,
+                   "%s\n    \"%s\": {\"median\": %.6g, \"p99\": %.6g, \"mean\": %.6g, "
+                   "\"count\": %zu}",
+                   i == 0 ? "" : ",", name.c_str(), row.median, row.p99, row.mean, row.count);
+    }
+    std::fprintf(f, "\n  },\n  \"scalars\": {");
+    for (std::size_t i = 0; i < scalars_.size(); ++i)
+      std::fprintf(f, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",", scalars_[i].first.c_str(),
+                   scalars_[i].second);
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    double median = 0;
+    double p99 = 0;
+    double mean = 0;
+    std::size_t count = 0;
+  };
+  std::string bench_;
+  std::vector<std::pair<std::string, Row>> series_;
+  std::vector<std::pair<std::string, double>> scalars_;
+};
+
+inline std::string parse_json_out(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) return argv[i] + 11;
+  return "";
+}
+
 }  // namespace gv::bench

@@ -122,11 +122,12 @@ constexpr std::size_t kCellTraceRing = 512;
 
 CellResult run_cell(std::uint64_t seed, const std::string& mix, naming::Scheme scheme,
                     bool verbose, bool tracing = true, const std::string& metrics_out = "",
-                    const std::string& cell_label = "") {
+                    const std::string& cell_label = "", bool view_cache = false) {
   SystemConfig cfg;
   cfg.nodes = 10;
   cfg.seed = seed;
   cfg.scheme = scheme;
+  cfg.view_cache = view_cache;  // --cache: sec-6 cached binds under chaos
   cfg.start_janitor = true;        // crashed clients / phantom counters
   cfg.start_store_reaper = true;   // orphaned shadows (dead coordinators)
   cfg.start_view_probe = true;     // partition-heal re-Include
@@ -245,7 +246,7 @@ CellResult run_cell(std::uint64_t seed, const std::string& mix, naming::Scheme s
 int usage() {
   std::fprintf(stderr,
                "usage: gv_campaign [--seeds N] [--seed-base B] [--mix MIX] [--scheme S]\n"
-               "                   [--smoke] [--trace] [--replay SEED MIX SCHEME]\n"
+               "                   [--smoke] [--trace] [--cache] [--replay SEED MIX SCHEME]\n"
                "                   [--no-cell-trace] [--metrics-out PATH]\n");
   return 2;
 }
@@ -262,6 +263,7 @@ int main(int argc, char** argv) {
   std::vector<SchemeOpt> schemes = all_schemes();
   bool smoke = false;
   bool replay = false;
+  bool view_cache = false;  // --cache: run every cell with cached binds
   bool cell_trace = true;  // --no-cell-trace: overhead A/B baseline
   std::string metrics_out;
   std::uint64_t replay_seed = 0;
@@ -299,6 +301,8 @@ int main(int argc, char** argv) {
       schemes = {*s};
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--cache") {
+      view_cache = true;
     } else if (arg == "--no-cell-trace") {
       cell_trace = false;
     } else if (arg == "--metrics-out" && i + 1 < argc) {
@@ -327,7 +331,8 @@ int main(int argc, char** argv) {
     CellResult r = run_cell(replay_seed, replay_mix, s->scheme, /*verbose=*/true, cell_trace,
                             metrics_out,
                             "replay_" + replay_mix + "_" + replay_scheme + "_" +
-                                std::to_string(replay_seed));
+                                std::to_string(replay_seed),
+                            view_cache);
     if (!r.trace_tail.empty()) std::printf("  timeline (last events):\n%s", r.trace_tail.c_str());
     if (r.violations.empty()) {
       std::printf("  audit: CLEAN\n");
@@ -343,9 +348,10 @@ int main(int argc, char** argv) {
   }
   if (n_seeds <= 0) return usage();
 
-  std::printf("# robustness campaign: %d seeds x %zu mixes x %zu schemes (horizon %llds)\n",
+  std::printf("# robustness campaign: %d seeds x %zu mixes x %zu schemes (horizon %llds)%s\n",
               n_seeds, mixes.size(), schemes.size(),
-              static_cast<long long>(kHorizon / gv::sim::kSecond));
+              static_cast<long long>(kHorizon / gv::sim::kSecond),
+              view_cache ? " [view cache ON]" : "");
   std::printf("%-12s %-6s %8s %10s %10s %10s\n", "mix", "scheme", "cells", "commit%",
               "faults", "violations");
 
@@ -362,7 +368,8 @@ int main(int argc, char** argv) {
         const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(k);
         CellResult r = run_cell(seed, mix, scheme.scheme, /*verbose=*/false, cell_trace,
                                 metrics_out,
-                                mix + "_" + scheme.cli + "_" + std::to_string(seed));
+                                mix + "_" + scheme.cli + "_" + std::to_string(seed),
+                                view_cache);
         ++cells;
         attempted += r.attempted;
         committed += r.committed;
@@ -375,8 +382,9 @@ int main(int argc, char** argv) {
           std::printf("%s", r.audit_report.c_str());
           if (!r.trace_tail.empty())
             std::printf("  timeline (last events):\n%s", r.trace_tail.c_str());
-          std::printf("  replay: ./gv_campaign --replay %llu %s %s --trace\n",
-                      static_cast<unsigned long long>(seed), mix.c_str(), scheme.cli);
+          std::printf("  replay: ./gv_campaign --replay %llu %s %s%s --trace\n",
+                      static_cast<unsigned long long>(seed), mix.c_str(), scheme.cli,
+                      view_cache ? " --cache" : "");
         }
       }
       total_cells += cells;

@@ -43,6 +43,19 @@ ReplicaSystem::ReplicaSystem(SystemConfig cfg)
                                                       fabric_->endpoint(naming_node()),
                                                       cfg_.janitor_period);
   if (cfg_.start_janitor) janitor_->start();
+
+  if (cfg_.view_cache) {
+    caches_.reserve(cfg_.nodes);
+    for (NodeId id = 0; id < cfg_.nodes; ++id) {
+      caches_.push_back(std::make_unique<naming::GroupViewCache>(fabric_->endpoint(id),
+                                                                 naming_node()));
+      naming::GroupViewCache* cache = caches_.back().get();
+      // Every reply from the naming node carries recent epoch bumps; feed
+      // them into this node's cache before the reply's awaiter resumes.
+      fabric_->endpoint(id).set_piggyback_sink(
+          [cache](NodeId from, Buffer blob) { cache->apply_piggyback(from, std::move(blob)); });
+    }
+  }
 }
 
 Uid ReplicaSystem::define_object(const std::string& name, const std::string& class_name,
@@ -102,6 +115,8 @@ Counters ReplicaSystem::aggregate_counters() const {
   merge_prefixed(const_cast<naming::GroupViewDb&>(*gvdb_).states().locks().counters(),
                  "ostdb.");
   merge(const_cast<naming::UseListJanitor&>(*janitor_).counters());
+  merge(const_cast<naming::GroupViewDb&>(*gvdb_).counters());
+  for (const auto& c : caches_) merge(const_cast<naming::GroupViewCache&>(*c).counters());
   for (const auto& s : sessions_) {
     merge(const_cast<ClientSession&>(*s).counters());
     merge(const_cast<ClientSession&>(*s).runtime().counters());

@@ -57,6 +57,12 @@ struct SystemConfig {
   naming::NamingConfig naming;
   naming::Scheme scheme = naming::Scheme::IndependentTopLevel;
   naming::ExcludePolicy exclude_policy = naming::ExcludePolicy::ExcludeWriteLock;
+  // Sec 6: client-side caching of group views with commit-time epoch
+  // validation. Off by default (the paper's S1-S3 run uncached). When on,
+  // every node gets a GroupViewCache: binds hit it instead of the naming
+  // databases, staleness is caught by one batched gvdb.validate per
+  // commit, and invalidations ride the reply piggyback.
+  bool view_cache = false;
   // The janitor's periodic loop keeps the event queue non-empty; leave it
   // off unless the workload needs crashed-client cleanup, and drive the
   // simulation with run_until() (or janitor().stop() before run()).
@@ -92,6 +98,10 @@ class ReplicaSystem {
   rpc::GroupComm& gc() noexcept { return gc_; }
   rpc::RpcEndpoint& endpoint(NodeId id) { return fabric_->endpoint(id); }
   naming::GroupViewDb& gvdb() noexcept { return *gvdb_; }
+  // The per-node group-view cache; nullptr when cfg.view_cache is off.
+  naming::GroupViewCache* view_cache_at(NodeId id) {
+    return caches_.empty() ? nullptr : caches_.at(id).get();
+  }
   store::ObjectStore& store_at(NodeId id) { return *stores_.at(id); }
   replication::ObjectServerHost& host_at(NodeId id) { return *hosts_.at(id); }
   replication::RecoveryDaemon& recovery_at(NodeId id) { return *recovery_.at(id); }
@@ -149,6 +159,7 @@ class ReplicaSystem {
   std::vector<std::unique_ptr<replication::RecoveryDaemon>> recovery_;
   std::unique_ptr<naming::GroupViewDb> gvdb_;
   std::unique_ptr<naming::UseListJanitor> janitor_;
+  std::vector<std::unique_ptr<naming::GroupViewCache>> caches_;  // empty unless view_cache
 
   std::unordered_map<std::string, Uid> names_;
   std::unordered_map<Uid, ObjectSpec> specs_;

@@ -13,11 +13,20 @@ ClientSession::ClientSession(ReplicaSystem& sys, NodeId node, naming::Scheme sch
                &sys.coordinator_log_at(node), &sys.trace(), &sys.metrics()),
       activator_(runtime_, sys.naming_node(), sys.gc(), scheme),
       commit_(runtime_, sys.naming_node()),
-      ginv_(sys.endpoint(node), sys.gc()) {}
+      ginv_(sys.endpoint(node), sys.gc()) {
+  cache_ = sys.view_cache_at(node);
+  activator_.set_view_cache(cache_);
+  commit_.set_view_cache(cache_);
+}
 
 std::unique_ptr<Transaction> ClientSession::begin() {
   counters_.inc("session.txn_begin");
   return std::unique_ptr<Transaction>(new Transaction(*this));
+}
+
+sim::Task<Status> ClientSession::prefetch(std::vector<Uid> objects) {
+  if (cache_ == nullptr) co_return ok_status();
+  co_return co_await cache_->prefetch(std::move(objects));
 }
 
 Transaction::Transaction(ClientSession& session) : Transaction(session, nullptr) {}
@@ -78,16 +87,20 @@ sim::Task<Result<Buffer>> Transaction::invoke(Uid object, std::string op, Buffer
   for (const actions::AtomicAction* p = action_.parent(); p != nullptr; p = p->parent())
     ancestors.push_back(p->uid());
 
+  Result<Buffer> r = Err::NoReplicas;
   if (ab.spec.policy == ReplicationPolicy::Active) {
     // Multicast to the replica group; first reply wins (sec 2.3(2)(i)).
-    co_return co_await session_.group_invoker().invoke(
+    r = co_await session_.group_invoker().invoke(
         replication::group_name(object), object, action_.uid(), std::move(ancestors), mode,
         std::move(op), std::move(args), session_.system().config().rpc.call_timeout);
+  } else {
+    // Single-copy passive / coordinator-cohort: invoke the primary.
+    r = co_await replication::objsrv_invoke(session_.runtime().endpoint(), ab.primary, object,
+                                            action_.uid(), std::move(ancestors), mode,
+                                            std::move(op), std::move(args));
   }
-  // Single-copy passive / coordinator-cohort: invoke the primary.
-  co_return co_await replication::objsrv_invoke(session_.runtime().endpoint(), ab.primary, object,
-                                                action_.uid(), std::move(ancestors), mode,
-                                                std::move(op), std::move(args));
+  if (r.ok() && mode == LockMode::Write) ab.wrote = true;
+  co_return r;
 }
 
 sim::Task<Status> Transaction::commit() {
@@ -140,6 +153,7 @@ sim::Task<> Transaction::release_use_lists() {
   // use-list counter forever, since the janitor only purges dead
   // clients (found by the gv_campaign netchaos mix).
   for (auto& [uid, binding] : bindings_) {
+    if (binding.cached) continue;  // cached binds never touched use lists
     Backoff pace{BackoffConfig{50 * sim::kMillisecond, 400 * sim::kMillisecond},
                  session_.runtime().endpoint().rng().fork()};
     for (int attempt = 0; attempt < 5; ++attempt) {

@@ -39,6 +39,12 @@ class ClientSession {
   // Start a new top-level transaction.
   std::unique_ptr<Transaction> begin();
 
+  // Warm the node's group-view cache for a batch of objects with a single
+  // gvdb.get_views RPC (no-op when caching is disabled). A multi-object
+  // transaction that prefetches binds every object without any further
+  // naming traffic.
+  sim::Task<Status> prefetch(std::vector<Uid> objects);
+
   NodeId node() const noexcept { return node_; }
   naming::Scheme scheme() const noexcept { return scheme_; }
   actions::ActionRuntime& runtime() noexcept { return runtime_; }
@@ -57,6 +63,7 @@ class ClientSession {
   replication::Activator activator_;
   replication::CommitProcessor commit_;
   replication::GroupInvoker ginv_;
+  naming::GroupViewCache* cache_ = nullptr;  // owned by the system; may be null
   Counters counters_;
 };
 

@@ -7,8 +7,24 @@
 // the naming service is always available (sec 3.1); the chaos harness
 // therefore never crashes the naming node, though the databases do
 // persist themselves and recover correctly if it happens.
+//
+// For the client-side group-view cache (sec 6: "caching of binding
+// information") the facade additionally exports a combined "gvdb"
+// service:
+//
+//   get_views(uids...)   lock-free batched snapshot of Sv(A)+St(A) with
+//                        their view epochs and this node's incarnation;
+//                        one RPC fills a whole cache prefetch.
+//   validate(items...)   commit-time staleness check: read-locks every
+//                        named entry under the committing action and
+//                        compares epochs; StaleView forces rebind.
+//
+// It also feeds a small ring of recently invalidated UIDs that the RPC
+// layer piggybacks on every reply leaving this node, so client caches
+// learn of membership changes without any additional messages.
 #pragma once
 
+#include <deque>
 #include <memory>
 
 #include "naming/object_server_db.h"
@@ -16,14 +32,35 @@
 
 namespace gv::naming {
 
+inline constexpr const char* kGvdbService = "gvdb";
+
+// One object's fill inside a batched get_views reply.
+struct ViewFill {
+  Uid object;
+  bool found = false;
+  std::uint64_t sv_epoch = 0;
+  std::vector<NodeId> sv;
+  std::uint64_t st_epoch = 0;
+  std::vector<NodeId> st;
+};
+
+struct GetViewsReply {
+  std::uint64_t incarnation = 0;  // naming node incarnation at snapshot
+  std::vector<ViewFill> views;
+};
+
+// One object's staleness check inside a batched validate call.
+struct ValidateItem {
+  Uid object;
+  std::uint64_t sv_epoch = 0;
+  std::uint64_t st_epoch = 0;
+};
+
 class GroupViewDb {
  public:
   GroupViewDb(sim::Node& node, store::ObjectStore& store, rpc::RpcEndpoint& endpoint,
               actions::TxnRegistry& txns, NamingConfig cfg = {},
-              ExcludePolicy policy = ExcludePolicy::ExcludeWriteLock)
-      : servers_(node, store, endpoint, txns, cfg),
-        states_(node, store, endpoint, txns, cfg, policy),
-        node_id_(node.id()) {}
+              ExcludePolicy policy = ExcludePolicy::ExcludeWriteLock);
 
   // Register a new persistent object with its server and store node sets
   // (|Sv| and |St| cardinalities select the regimes of figs 2-5).
@@ -34,12 +71,33 @@ class GroupViewDb {
 
   ObjectServerDb& servers() noexcept { return servers_; }
   ObjectStateDb& states() noexcept { return states_; }
-  NodeId node_id() const noexcept { return node_id_; }
+  NodeId node_id() const noexcept { return node_.id(); }
+
+  // The reply-piggyback blob: current incarnation plus the current epochs
+  // of recently bumped entries. Empty when nothing changed recently.
+  Buffer piggyback_blob() const;
+
+  Counters& counters() noexcept { return counters_; }
 
  private:
+  void note_invalidation(const Uid& object);
+  void register_rpc(rpc::RpcEndpoint& endpoint);
+  sim::Task<Result<Buffer>> handle_get_views(Buffer args);
+  sim::Task<Result<Buffer>> handle_validate(NodeId from, Buffer args);
+
+  sim::Node& node_;
   ObjectServerDb servers_;
   ObjectStateDb states_;
-  NodeId node_id_;
+  // Recently bumped UIDs, most recent last, deduplicated, bounded.
+  std::deque<Uid> recent_bumps_;
+  Counters counters_;
 };
+
+// Client stubs for the combined service.
+sim::Task<Result<GetViewsReply>> gvdb_get_views(rpc::RpcEndpoint& ep, NodeId naming_node,
+                                                std::vector<Uid> objects);
+sim::Task<Status> gvdb_validate(rpc::RpcEndpoint& ep, NodeId naming_node,
+                                std::uint64_t incarnation, std::vector<ValidateItem> items,
+                                Uid action);
 
 }  // namespace gv::naming

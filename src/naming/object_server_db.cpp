@@ -26,10 +26,50 @@ void ObjectServerDb::create(const Uid& object, std::vector<NodeId> sv) {
 SvView ObjectServerDb::view_of(const Entry& e) const {
   SvView v;
   v.sv = e.sv;
+  v.epoch = e.epoch;
   for (const auto& [server, clients] : e.use)
     for (const auto& [client, count] : clients)
       if (count > 0) v.use.push_back(UseEntry{server, client, count});
   return v;
+}
+
+void ObjectServerDb::bump_epoch(const Uid& object) {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) return;
+  ++it->second.epoch;
+  counters_.inc("osdb.epoch_bump");
+  if (epoch_listener_) epoch_listener_(object);
+}
+
+std::uint64_t ObjectServerDb::epoch_of(const Uid& object) const noexcept {
+  auto it = entries_.find(object);
+  return it == entries_.end() ? 0 : it->second.epoch;
+}
+
+Result<SvView> ObjectServerDb::peek_view(const Uid& object) const {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) return Err::NotFound;
+  return view_of(it->second);
+}
+
+sim::Task<Status> ObjectServerDb::validate_epoch(Uid object, std::uint64_t epoch, Uid action) {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) co_return Err::NotFound;
+  Status lk = co_await locks_.acquire(lock_name(object), actions::LockMode::Read, action,
+                                      cfg_.lock_wait);
+  if (!lk.ok()) {
+    counters_.inc("osdb.lock_refused");
+    trigger_orphan_sweep();
+    co_return lk.error();
+  }
+  auto it2 = entries_.find(object);
+  if (it2 == entries_.end()) co_return Err::NotFound;
+  if (it2->second.epoch != epoch) {
+    counters_.inc("osdb.validate_stale");
+    co_return Err::StaleView;
+  }
+  counters_.inc("osdb.validate_ok");
+  co_return ok_status();
 }
 
 sim::Task<Result<SvView>> ObjectServerDb::get_server(Uid object, Uid action, bool for_update) {
@@ -73,11 +113,13 @@ sim::Task<Status> ObjectServerDb::insert(Uid object, NodeId host, Uid action) {
   if (std::find(e.sv.begin(), e.sv.end(), host) != e.sv.end())
     co_return ok_status();  // already a member: pure quiescence check
   e.sv.push_back(host);
+  bump_epoch(object);
   push_undo(action, [this, object, host] {
     auto eit = entries_.find(object);
     if (eit == entries_.end()) return;
     auto& sv = eit->second.sv;
     sv.erase(std::remove(sv.begin(), sv.end(), host), sv.end());
+    bump_epoch(object);  // the dirty bump was observable; never reuse it
   });
   co_return ok_status();
 }
@@ -101,12 +143,14 @@ sim::Task<Status> ObjectServerDb::remove(Uid object, NodeId host, Uid action) {
   auto saved_use = e.use.find(host) != e.use.end() ? e.use[host]
                                                    : std::map<NodeId, std::uint32_t>{};
   e.use.erase(host);
+  bump_epoch(object);
   push_undo(action, [this, object, host, index, saved_use] {
     auto eit = entries_.find(object);
     if (eit == entries_.end()) return;
     auto& sv = eit->second.sv;
     sv.insert(sv.begin() + static_cast<long>(std::min(index, sv.size())), host);
     if (!saved_use.empty()) eit->second.use[host] = saved_use;
+    bump_epoch(object);
   });
   co_return ok_status();
 }
@@ -229,6 +273,7 @@ Buffer ObjectServerDb::serialize() const {
   b.pack_u32(static_cast<std::uint32_t>(entries_.size()));
   for (const auto& [object, e] : entries_) {
     b.pack_uid(object);
+    b.pack_u64(e.epoch);
     b.pack_u32_vector(std::vector<std::uint32_t>(e.sv.begin(), e.sv.end()));
     b.pack_u32(static_cast<std::uint32_t>(e.use.size()));
     for (const auto& [server, clients] : e.use) {
@@ -246,10 +291,12 @@ void ObjectServerDb::deserialize(Buffer state) {
   if (!n.ok()) return;
   for (std::uint32_t i = 0; i < n.value(); ++i) {
     auto object = state.unpack_uid();
+    auto epoch = state.unpack_u64();
     auto sv = state.unpack_u32_vector();
     auto nuse = state.unpack_u32();
-    if (!object.ok() || !sv.ok() || !nuse.ok()) return;
+    if (!object.ok() || !epoch.ok() || !sv.ok() || !nuse.ok()) return;
     Entry e;
+    e.epoch = epoch.value();
     e.sv.assign(sv.value().begin(), sv.value().end());
     for (std::uint32_t j = 0; j < nuse.value(); ++j) {
       auto server = state.unpack_u32();
@@ -273,6 +320,8 @@ namespace {
 
 Buffer pack_view(const SvView& v) {
   Buffer out;
+  out.reserve(8 + 4 + 4 * v.sv.size() + 4 + 12 * v.use.size());
+  out.pack_u64(v.epoch);
   out.pack_u32_vector(std::vector<std::uint32_t>(v.sv.begin(), v.sv.end()));
   out.pack_u32(static_cast<std::uint32_t>(v.use.size()));
   for (const auto& u : v.use) out.pack_u32(u.server).pack_u32(u.client).pack_u32(u.count);
@@ -280,10 +329,12 @@ Buffer pack_view(const SvView& v) {
 }
 
 Result<SvView> unpack_view(Buffer& b) {
+  auto epoch = b.unpack_u64();
   auto sv = b.unpack_u32_vector();
   auto n = b.unpack_u32();
-  if (!sv.ok() || !n.ok()) return Err::BadRequest;
+  if (!epoch.ok() || !sv.ok() || !n.ok()) return Err::BadRequest;
   SvView v;
+  v.epoch = epoch.value();
   v.sv.assign(sv.value().begin(), sv.value().end());
   for (std::uint32_t i = 0; i < n.value(); ++i) {
     auto server = b.unpack_u32();

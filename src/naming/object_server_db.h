@@ -19,6 +19,7 @@
 // short independent top-level action — release it immediately.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -42,6 +43,11 @@ struct UseEntry {
 struct SvView {
   std::vector<NodeId> sv;
   std::vector<UseEntry> use;  // empty entries elided
+  // Monotonic per-UID view epoch (sec 6: binding information can be
+  // cached by clients provided staleness is detected before commit).
+  // Bumped on every membership mutation — Insert, Remove — AND on the
+  // rollback of one, so a dirty read that later aborts still invalidates.
+  std::uint64_t epoch = 0;
 
   bool quiescent() const noexcept { return use.empty(); }
   bool in_use(NodeId server) const noexcept {
@@ -80,21 +86,38 @@ class ObjectServerDb final : public NamingDbBase {
   // All client nodes appearing in any use list (janitor scan).
   std::vector<NodeId> clients_in_use() const;
 
+  // ---- view-epoch support (GroupViewCache) -----------------------------
+  // Lock-free peeks used by the batched gvdb fill/validate paths; cache
+  // correctness does not rest on them (the commit-time validate takes the
+  // entry read lock before comparing epochs).
+  std::uint64_t epoch_of(const Uid& object) const noexcept;
+  Result<SvView> peek_view(const Uid& object) const;
+  // Read-lock the entry under `action` and compare the caller's cached
+  // epoch against the current one. Ok = still current (and the lock now
+  // pins it until the action ends); StaleView = caller must rebind.
+  sim::Task<Status> validate_epoch(Uid object, std::uint64_t epoch, Uid action);
+  // Observer for epoch bumps (the GroupViewDb facade feeds its
+  // recent-invalidations ring from this, for reply piggybacking).
+  void set_epoch_listener(std::function<void(const Uid&)> fn) { epoch_listener_ = std::move(fn); }
+
  private:
   struct Entry {
     std::vector<NodeId> sv;
     // server node -> (client node -> count)
     std::map<NodeId, std::map<NodeId, std::uint32_t>> use;
+    std::uint64_t epoch = 1;
   };
 
   static std::string lock_name(const Uid& object) { return "sv:" + object.to_string(); }
   SvView view_of(const Entry& e) const;
+  void bump_epoch(const Uid& object);
   void register_rpc(rpc::RpcEndpoint& endpoint);
 
   Buffer serialize() const override;
   void deserialize(Buffer state) override;
 
   std::map<Uid, Entry> entries_;
+  std::function<void(const Uid&)> epoch_listener_;
 };
 
 // ------------------------------------------------------- client stubs

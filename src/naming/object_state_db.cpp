@@ -28,7 +28,7 @@ std::vector<NodeId> ObjectStateDb::peek(const Uid& object) const {
   return it == entries_.end() ? std::vector<NodeId>{} : it->second.st;
 }
 
-sim::Task<Result<std::vector<NodeId>>> ObjectStateDb::get_view(Uid object, Uid action) {
+sim::Task<Result<StView>> ObjectStateDb::get_view(Uid object, Uid action) {
   counters_.inc("ostdb.get_view");
   auto it = entries_.find(object);
   if (it == entries_.end()) co_return Err::NotFound;
@@ -41,7 +41,46 @@ sim::Task<Result<std::vector<NodeId>>> ObjectStateDb::get_view(Uid object, Uid a
   }
   auto it2 = entries_.find(object);
   if (it2 == entries_.end()) co_return Err::NotFound;
-  co_return it2->second.st;
+  co_return StView{it2->second.st, it2->second.epoch};
+}
+
+void ObjectStateDb::bump_epoch(const Uid& object) {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) return;
+  ++it->second.epoch;
+  counters_.inc("ostdb.epoch_bump");
+  if (epoch_listener_) epoch_listener_(object);
+}
+
+std::uint64_t ObjectStateDb::epoch_of(const Uid& object) const noexcept {
+  auto it = entries_.find(object);
+  return it == entries_.end() ? 0 : it->second.epoch;
+}
+
+Result<StView> ObjectStateDb::peek_view(const Uid& object) const {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) return Err::NotFound;
+  return StView{it->second.st, it->second.epoch};
+}
+
+sim::Task<Status> ObjectStateDb::validate_epoch(Uid object, std::uint64_t epoch, Uid action) {
+  auto it = entries_.find(object);
+  if (it == entries_.end()) co_return Err::NotFound;
+  Status lk = co_await locks_.acquire(lock_name(object), actions::LockMode::Read, action,
+                                      cfg_.lock_wait);
+  if (!lk.ok()) {
+    counters_.inc("ostdb.lock_refused");
+    trigger_orphan_sweep();
+    co_return lk.error();
+  }
+  auto it2 = entries_.find(object);
+  if (it2 == entries_.end()) co_return Err::NotFound;
+  if (it2->second.epoch != epoch) {
+    counters_.inc("ostdb.validate_stale");
+    co_return Err::StaleView;
+  }
+  counters_.inc("ostdb.validate_ok");
+  co_return ok_status();
 }
 
 sim::Task<Status> ObjectStateDb::exclude(std::vector<ExcludeItem> items, Uid action) {
@@ -76,6 +115,7 @@ sim::Task<Status> ObjectStateDb::exclude(std::vector<ExcludeItem> items, Uid act
     if (!removed.empty()) {
       counters_.inc("ostdb.excluded_nodes", removed.size());
       core::metric_gauge(metrics_, "naming.st_size", static_cast<double>(e.st.size()));
+      bump_epoch(item.object);
       for (NodeId host : removed) {
         GV_LOG(LogLevel::Debug, node_.sim().now(), "ostdb", "exclude %u from %s by %s", host,
                item.object.to_string().c_str(), action.to_string().c_str());
@@ -90,6 +130,7 @@ sim::Task<Status> ObjectStateDb::exclude(std::vector<ExcludeItem> items, Uid act
                  host, object.to_string().c_str(), action.to_string().c_str());
           eit->second.st.push_back(host);
         }
+        bump_epoch(object);  // the dirty bump was observable; never reuse it
       });
     }
   }
@@ -118,11 +159,13 @@ sim::Task<Status> ObjectStateDb::include(Uid object, NodeId host, Uid action) {
                       "node " + std::to_string(host) + " into " + object.to_string());
   e.st.push_back(host);
   core::metric_gauge(metrics_, "naming.st_size", static_cast<double>(e.st.size()));
+  bump_epoch(object);
   push_undo(action, [this, object, host] {
     auto eit = entries_.find(object);
     if (eit == entries_.end()) return;
     auto& st = eit->second.st;
     st.erase(std::remove(st.begin(), st.end(), host), st.end());
+    bump_epoch(object);  // the dirty bump was observable; never reuse it
   });
   co_return ok_status();
 }
@@ -134,6 +177,7 @@ Buffer ObjectStateDb::serialize() const {
   b.pack_u32(static_cast<std::uint32_t>(entries_.size()));
   for (const auto& [object, e] : entries_) {
     b.pack_uid(object);
+    b.pack_u64(e.epoch);
     b.pack_u32_vector(std::vector<std::uint32_t>(e.st.begin(), e.st.end()));
   }
   return b;
@@ -145,9 +189,11 @@ void ObjectStateDb::deserialize(Buffer state) {
   if (!n.ok()) return;
   for (std::uint32_t i = 0; i < n.value(); ++i) {
     auto object = state.unpack_uid();
+    auto epoch = state.unpack_u64();
     auto st = state.unpack_u32_vector();
-    if (!object.ok() || !st.ok()) return;
+    if (!object.ok() || !epoch.ok() || !st.ok()) return;
     Entry e;
+    e.epoch = epoch.value();
     e.st.assign(st.value().begin(), st.value().end());
     entries_[object.value()] = std::move(e);
   }
@@ -165,8 +211,9 @@ void ObjectStateDb::register_rpc(rpc::RpcEndpoint& endpoint) {
                              auto r = co_await get_view(object.value(), action.value());
                              if (!r.ok()) co_return r.error();
                              Buffer out;
-                             out.pack_u32_vector(
-                                 std::vector<std::uint32_t>(r.value().begin(), r.value().end()));
+                             out.pack_u64(r.value().epoch);
+                             out.pack_u32_vector(std::vector<std::uint32_t>(
+                                 r.value().st.begin(), r.value().st.end()));
                              co_return out;
                            });
   endpoint.register_method(
@@ -216,15 +263,16 @@ void ObjectStateDb::register_rpc(rpc::RpcEndpoint& endpoint) {
 
 // ------------------------------------------------------------ client stubs
 
-sim::Task<Result<std::vector<NodeId>>> ostdb_get_view(rpc::RpcEndpoint& ep, NodeId naming_node,
-                                                      Uid object, Uid action) {
+sim::Task<Result<StView>> ostdb_get_view(rpc::RpcEndpoint& ep, NodeId naming_node, Uid object,
+                                         Uid action) {
   Buffer args;
   args.pack_uid(object).pack_uid(action);
   auto r = co_await ep.call(naming_node, kOstdbService, "get_view", std::move(args));
   if (!r.ok()) co_return r.error();
+  auto epoch = r.value().unpack_u64();
   auto st = r.value().unpack_u32_vector();
-  if (!st.ok()) co_return Err::BadRequest;
-  co_return std::vector<NodeId>(st.value().begin(), st.value().end());
+  if (!epoch.ok() || !st.ok()) co_return Err::BadRequest;
+  co_return StView{{st.value().begin(), st.value().end()}, epoch.value()};
 }
 
 sim::Task<Status> ostdb_exclude(rpc::RpcEndpoint& ep, NodeId naming_node,

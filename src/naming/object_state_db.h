@@ -21,6 +21,7 @@
 // rate difference between the two.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -41,6 +42,13 @@ struct ExcludeItem {
   std::vector<NodeId> nodes;
 };
 
+// St(A) plus its monotonic view epoch (mirrors SvView.epoch: bumped on
+// Exclude/Include and on the rollback of either, never reused).
+struct StView {
+  std::vector<NodeId> st;
+  std::uint64_t epoch = 0;
+};
+
 class ObjectStateDb final : public NamingDbBase {
  public:
   ObjectStateDb(sim::Node& node, store::ObjectStore& store, rpc::RpcEndpoint& endpoint,
@@ -50,7 +58,7 @@ class ObjectStateDb final : public NamingDbBase {
   void create(const Uid& object, std::vector<NodeId> st);
   bool known(const Uid& object) const { return entries_.count(object) > 0; }
 
-  sim::Task<Result<std::vector<NodeId>>> get_view(Uid object, Uid action);
+  sim::Task<Result<StView>> get_view(Uid object, Uid action);
   sim::Task<Status> exclude(std::vector<ExcludeItem> items, Uid action);
   sim::Task<Status> include(Uid object, NodeId host, Uid action);
 
@@ -63,12 +71,23 @@ class ObjectStateDb final : public NamingDbBase {
   ExcludePolicy policy() const noexcept { return policy_; }
   void set_policy(ExcludePolicy p) noexcept { policy_ = p; }
 
+  // ---- view-epoch support (GroupViewCache) -----------------------------
+  std::uint64_t epoch_of(const Uid& object) const noexcept;
+  Result<StView> peek_view(const Uid& object) const;
+  // Read-lock the entry under `action`, then compare epochs. Ok = the
+  // cached view is still current and pinned until the action ends;
+  // StaleView = the caller must invalidate and rebind.
+  sim::Task<Status> validate_epoch(Uid object, std::uint64_t epoch, Uid action);
+  void set_epoch_listener(std::function<void(const Uid&)> fn) { epoch_listener_ = std::move(fn); }
+
  private:
   struct Entry {
     std::vector<NodeId> st;
+    std::uint64_t epoch = 1;
   };
 
   static std::string lock_name(const Uid& object) { return "st:" + object.to_string(); }
+  void bump_epoch(const Uid& object);
   void register_rpc(rpc::RpcEndpoint& endpoint);
 
   Buffer serialize() const override;
@@ -76,11 +95,12 @@ class ObjectStateDb final : public NamingDbBase {
 
   std::map<Uid, Entry> entries_;
   ExcludePolicy policy_;
+  std::function<void(const Uid&)> epoch_listener_;
 };
 
 // Client stubs.
-sim::Task<Result<std::vector<NodeId>>> ostdb_get_view(rpc::RpcEndpoint& ep, NodeId naming_node,
-                                                      Uid object, Uid action);
+sim::Task<Result<StView>> ostdb_get_view(rpc::RpcEndpoint& ep, NodeId naming_node, Uid object,
+                                         Uid action);
 sim::Task<Status> ostdb_exclude(rpc::RpcEndpoint& ep, NodeId naming_node,
                                 std::vector<ExcludeItem> items, Uid action);
 sim::Task<Status> ostdb_include(rpc::RpcEndpoint& ep, NodeId naming_node, Uid object, NodeId host,

@@ -15,8 +15,95 @@ const char* to_string(ReplicationPolicy p) noexcept {
   return "?";
 }
 
+sim::Task<std::vector<NodeId>> Activator::join_active_group(const ObjectSpec& spec,
+                                                            const std::vector<NodeId>& servers) {
+  const std::string group = group_name(spec.uid);
+  if (gc_.members(group).empty()) gc_.create_group(group, servers);
+  std::vector<NodeId> joined;
+  for (NodeId s : servers) {
+    Status j = co_await objsrv_join_group(rt_.endpoint(), s, spec.uid);
+    if (j.ok())
+      joined.push_back(s);
+    else
+      counters_.inc("activate.join_failed");
+  }
+  co_return joined;
+}
+
+// Sec 6 cached bind: serve Sv/St from the client's GroupViewCache — a
+// warm hit touches the naming node ZERO times; correctness comes from the
+// commit processor's batched epoch validation, which aborts the action if
+// the cached view has been retired in the meantime.
+sim::Task<Result<ActiveBinding>> Activator::bind_and_activate_cached(
+    ObjectSpec spec, actions::AtomicAction& action) {
+  auto span = core::trace_span(rt_.trace(), "activate.cached", rt_.endpoint().node_id(),
+                               "activator", spec.uid.to_string());
+  const std::size_t want =
+      spec.policy == ReplicationPolicy::SingleCopyPassive ? 1 : spec.servers_wanted;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto entry = co_await cache_->get_or_fetch(spec.uid);
+    if (!entry.ok()) {
+      counters_.inc("activate.cache_fetch_failed");
+      span.end("fetch_failed");
+      co_return entry.error();
+    }
+
+    // Probe candidates straight off the cached Sv, in database order (the
+    // same fixed selection every scheme uses). No Remove/Increment: a
+    // retired candidate costs a failed probe here and an epoch mismatch
+    // at commit, not a naming write.
+    naming::BindResult bound;
+    bound.scheme = binder_.scheme();
+    for (NodeId node : entry.value().sv) {
+      if (bound.servers.size() >= want) break;
+      Status s = co_await objsrv_activate(rt_.endpoint(), node, spec.uid, spec.class_name,
+                                          entry.value().st);
+      if (s.ok()) {
+        bound.servers.push_back(node);
+      } else if (s.error() == Err::NotQuiescent || s.error() == Err::NoReplicas) {
+        counters_.inc("activate.busy_server_skipped");
+      } else {
+        bound.failed.push_back(node);
+        counters_.inc("activate.cached_probe_failure");
+      }
+    }
+    if (spec.policy == ReplicationPolicy::Active && !bound.servers.empty()) {
+      // Keep only servers that acknowledged the group join: a bound
+      // member that never joined silently misses every invocation, and
+      // its unmodified state can mask a lost write at commit.
+      bound.servers = co_await join_active_group(spec, bound.servers);
+    }
+    if (bound.servers.empty()) {
+      // Every cached candidate refused — the view is probably stale.
+      // Drop it and refetch once before giving up.
+      cache_->invalidate(spec.uid);
+      counters_.inc("activate.cached_all_failed");
+      continue;
+    }
+
+    for (NodeId s : bound.servers) action.enlist({s, kObjSrvService});
+
+    ActiveBinding out;
+    out.st = entry.value().st;
+    out.cached = true;
+    out.sv_epoch = entry.value().sv_epoch;
+    out.st_epoch = entry.value().st_epoch;
+    out.view_incarnation = entry.value().incarnation;
+    out.spec = std::move(spec);
+    out.bind = std::move(bound);
+    out.primary = out.bind.servers.front();
+    counters_.inc("activate.bound_cached");
+    span.end("ok");
+    co_return out;
+  }
+  counters_.inc("activate.bind_failed");
+  span.end("no_replicas");
+  co_return Err::NoReplicas;
+}
+
 sim::Task<Result<ActiveBinding>> Activator::bind_and_activate(ObjectSpec spec,
                                                               actions::AtomicAction& action) {
+  if (cache_ != nullptr) co_return co_await bind_and_activate_cached(std::move(spec), action);
   auto span = core::trace_span(rt_.trace(), "activate", rt_.endpoint().node_id(), "activator",
                                spec.uid.to_string());
   // St(A) is read under the client's action: the read lock both pins the
@@ -32,12 +119,12 @@ sim::Task<Result<ActiveBinding>> Activator::bind_and_activate(ObjectSpec spec,
     co_return st.error();
   }
   core::metric_gauge(rt_.metrics(), "naming.st_size_read",
-                     static_cast<double>(st.value().size()));
+                     static_cast<double>(st.value().st.size()));
 
   // Probe: ask the candidate node to (idempotently) activate the object.
   // A node that is down, cannot reach any St store, or lacks the class
   // binary fails the probe and is handled per the binder's scheme.
-  const std::vector<NodeId> st_nodes = st.value();
+  const std::vector<NodeId> st_nodes = st.value().st;
   auto probe = [this, spec, st_nodes](NodeId node) -> sim::Task<naming::ProbeResult> {
     Status s = co_await objsrv_activate(rt_.endpoint(), node, spec.uid, spec.class_name, st_nodes);
     if (s.ok()) co_return naming::ProbeResult::Ok;
@@ -62,14 +149,10 @@ sim::Task<Result<ActiveBinding>> Activator::bind_and_activate(ObjectSpec spec,
 
   for (NodeId s : bound.value().servers) action.enlist({s, kObjSrvService});
 
-  if (spec.policy == ReplicationPolicy::Active) {
-    const std::string group = group_name(spec.uid);
-    if (gc_.members(group).empty()) gc_.create_group(group, bound.value().servers);
-    for (NodeId s : bound.value().servers) {
-      Status joined = co_await objsrv_join_group(rt_.endpoint(), s, spec.uid);
-      if (!joined.ok()) counters_.inc("activate.join_failed");
-    }
-  }
+  if (spec.policy == ReplicationPolicy::Active)
+    (void)co_await join_active_group(spec, bound.value().servers);  // use lists pin the bind;
+                                                                    // lost writes are caught by
+                                                                    // binding.wrote at commit
 
   ActiveBinding out;
   out.spec = std::move(spec);

@@ -25,6 +25,7 @@
 #include "actions/atomic_action.h"
 #include "naming/binder.h"
 #include "naming/object_state_db.h"
+#include "naming/view_cache.h"
 #include "replication/object_server.h"
 #include "rpc/group_comm.h"
 
@@ -50,11 +51,26 @@ struct ActiveBinding {
   std::vector<NodeId> st;       // St(A) as read under the action
   NodeId primary = sim::kNoNode;  // invocation target (passive / CC)
 
+  // Cached-bind bookkeeping (sec 6): the bind came from the client's
+  // GroupViewCache with NO naming interaction; the epochs below are what
+  // the commit processor's batched gvdb.validate checks, and unbind is a
+  // no-op (cached binds never touch use lists).
+  bool cached = false;
+  std::uint64_t sv_epoch = 0;
+  std::uint64_t st_epoch = 0;
+  std::uint64_t view_incarnation = 0;
+
   // Filled by the commit processor while staging: the version installed
   // by this action (0 = object not modified) and its snapshot (used for
   // cohort checkpoints after commit).
   std::uint64_t staged_version = 0;
   Buffer staged_snapshot;
+
+  // Set by Transaction::invoke on the first successful write-mode call:
+  // the client KNOWS this action modified the object, so a commit-time
+  // probe that finds only unmodified replicas means the modified ones are
+  // unreachable — the action must abort, not take the read-only skip.
+  bool wrote = false;
 };
 
 class Activator {
@@ -69,14 +85,26 @@ class Activator {
   sim::Task<Result<ActiveBinding>> bind_and_activate(ObjectSpec spec,
                                                      actions::AtomicAction& action);
 
+  // Enable the cached bind path (nullptr = classic schemes only).
+  void set_view_cache(naming::GroupViewCache* cache) noexcept { cache_ = cache; }
+
   naming::Binder& binder() noexcept { return binder_; }
   Counters& counters() noexcept { return counters_; }
 
  private:
+  sim::Task<Result<ActiveBinding>> bind_and_activate_cached(ObjectSpec spec,
+                                                            actions::AtomicAction& action);
+  // Joins each server to the object's replica group; returns the subset
+  // that acknowledged the join (a member that never joined will not see
+  // group invocations, so callers that can must drop it from the bind).
+  sim::Task<std::vector<NodeId>> join_active_group(const ObjectSpec& spec,
+                                                   const std::vector<NodeId>& servers);
+
   actions::ActionRuntime& rt_;
   NodeId naming_node_;
   rpc::GroupComm& gc_;
   naming::Binder binder_;
+  naming::GroupViewCache* cache_ = nullptr;
   Counters counters_;
 };
 

@@ -7,20 +7,85 @@
 
 namespace gv::replication {
 
+sim::Task<Status> CommitProcessor::validate_cached_views(
+    actions::AtomicAction& action, const std::vector<ActiveBinding*>& bindings) {
+  // Group items by the naming-node incarnation their fill was served by;
+  // normally that is a single group and a single RPC.
+  std::map<std::uint64_t, std::vector<naming::ValidateItem>> groups;
+  for (ActiveBinding* b : bindings) {
+    if (!b->cached) continue;
+    groups[b->view_incarnation].push_back(
+        naming::ValidateItem{b->spec.uid, b->sv_epoch, b->st_epoch});
+  }
+  if (groups.empty()) co_return ok_status();
+  counters_.inc("commit.validate_rpcs", groups.size());
+  // The read locks validate acquires live under this action on both
+  // naming databases; enlist them so 2PC termination releases the locks.
+  action.enlist({naming_node_, naming::kOsdbService});
+  action.enlist({naming_node_, naming::kOstdbService});
+  for (auto& [incarnation, items] : groups) {
+    Status s = co_await naming::gvdb_validate(rt_.endpoint(), naming_node_, incarnation,
+                                              std::move(items), action.uid());
+    if (!s.ok()) {
+      if (s.error() == Err::StaleView) {
+        // Retired view: drop every cached entry this action relied on so
+        // the retry refetches, then report staleness distinctly.
+        counters_.inc("commit.validate_stale");
+        if (cache_ != nullptr)
+          for (ActiveBinding* b : bindings)
+            if (b->cached) cache_->invalidate(b->spec.uid);
+      } else {
+        counters_.inc("commit.validate_failed");
+      }
+      co_return s;
+    }
+  }
+  counters_.inc("commit.validate_ok");
+  co_return ok_status();
+}
+
 sim::Task<Status> CommitProcessor::commit(actions::AtomicAction& action,
                                           std::vector<ActiveBinding*> bindings) {
   const NodeId here = rt_.endpoint().node_id();
   sim::Simulator& sim = rt_.endpoint().node().sim();
+
+  // 0. Cached binds skipped the naming service entirely; before staging
+  // anything against their views, prove those views are still current
+  // (and pin them, via the validate read locks, until the action ends).
+  Status valid = co_await validate_cached_views(action, bindings);
+  if (!valid.ok()) {
+    const Err reason = valid.error();
+    (void)co_await action.abort();
+    co_return reason;
+  }
+
   auto stage_span = core::trace_span(rt_.trace(), "commit.stage", here, "commit",
                                      std::to_string(bindings.size()) + " objects");
   const sim::SimTime t_stage = sim.now();
+  std::vector<naming::ExcludeItem> excludes;
   for (ActiveBinding* b : bindings) {
-    Status staged = co_await stage_object(action, *b);
+    Status staged = co_await stage_object(action, *b, excludes);
     if (!staged.ok()) {
       counters_.inc("commit.stage_failed");
       stage_span.end("failed");
       co_return co_await action.abort();
     }
+  }
+
+  // Retire every store that failed a copy, across ALL objects, with ONE
+  // batched Exclude (the per-item lock promotions happen server-side).
+  if (!excludes.empty()) {
+    std::size_t total = 0;
+    for (const auto& item : excludes) total += item.nodes.size();
+    Status ex = co_await naming::ostdb_exclude(rt_.endpoint(), naming_node_, std::move(excludes),
+                                               action.uid());
+    if (!ex.ok()) {
+      // Lock promotion refused (sec 4.2.1): the action must abort.
+      counters_.inc("commit.exclude_refused");
+      stage_span.end("exclude_refused");
+      co_return co_await action.abort();
+    }
+    counters_.inc("commit.excluded_stores", total);
   }
   core::metric_record(rt_.metrics(), "commit.stage_us",
                       static_cast<double>(sim.now() - t_stage));
@@ -55,7 +120,8 @@ sim::Task<Status> CommitProcessor::commit(actions::AtomicAction& action,
 }
 
 sim::Task<Status> CommitProcessor::stage_object(actions::AtomicAction& action,
-                                                ActiveBinding& binding) {
+                                                ActiveBinding& binding,
+                                                std::vector<naming::ExcludeItem>& excludes) {
   // 1. Fetch the (possibly new) state from a live bound server. Probe
   // EVERY bound server: replicas that crashed hold nothing durable, and
   // leaving them enlisted would make the 2PC abort a failure the
@@ -84,8 +150,17 @@ sim::Task<Status> CommitProcessor::stage_object(actions::AtomicAction& action,
   if (!state.ok()) co_return state.error();  // every bound server gone: abort
 
   // 2. Read-only optimisation (sec 4.2.1): unmodified objects need no
-  // copy-back and no store participation at all.
+  // copy-back and no store participation at all. But the client records
+  // whether IT issued a successful write (binding.wrote): if it did and
+  // no probed replica holds the modified state, every replica that
+  // executed the write is unreachable or dead — committing here would
+  // silently drop the write (gv_campaign netchaos, seed 1011). Abort and
+  // let the client retry against live replicas instead.
   if (!state.value().modified) {
+    if (binding.wrote) {
+      counters_.inc("commit.modified_replica_lost");
+      co_return Err::NoReplicas;
+    }
     counters_.inc("commit.read_only_skip");
     binding.staged_version = 0;
     co_return ok_status();
@@ -117,17 +192,11 @@ sim::Task<Status> CommitProcessor::stage_object(actions::AtomicAction& action,
     co_return Err::NoReplicas;
   }
 
-  // 5. Exclude the failed stores from St(A) within this same action.
+  // 5. Queue the failed stores for exclusion from St(A); the caller
+  // batches the Excludes of every staged object into one RPC.
   if (!failed.empty()) {
-    std::vector<naming::ExcludeItem> items{{binding.spec.uid, failed}};
-    Status ex = co_await naming::ostdb_exclude(rt_.endpoint(), naming_node_, std::move(items),
-                                               action.uid());
-    if (!ex.ok()) {
-      // Lock promotion refused (sec 4.2.1): the action must abort.
-      counters_.inc("commit.exclude_refused");
-      co_return ex;
-    }
-    counters_.inc("commit.excluded_stores", failed.size());
+    counters_.inc("commit.state_copy_failed_stores", failed.size());
+    excludes.push_back(naming::ExcludeItem{binding.spec.uid, std::move(failed)});
   }
 
   // 6. Enlist every store that accepted the copy (the naming database is

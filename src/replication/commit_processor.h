@@ -35,16 +35,30 @@ class CommitProcessor {
 
   // Run commit processing for `action` over the objects it bound, then
   // drive the top-level two-phase commit. On any failure the action is
-  // aborted and Err::Aborted returned.
+  // aborted and Err::Aborted returned — except a failed cached-view
+  // validation, which returns Err::StaleView (after aborting) so the
+  // caller knows a plain retry will rebind freshly.
   sim::Task<Status> commit(actions::AtomicAction& action, std::vector<ActiveBinding*> bindings);
+
+  // Cache used by validation bookkeeping (nullptr = no cached binds).
+  void set_view_cache(naming::GroupViewCache* cache) noexcept { cache_ = cache; }
 
   Counters& counters() noexcept { return counters_; }
 
  private:
-  sim::Task<Status> stage_object(actions::AtomicAction& action, ActiveBinding& binding);
+  // Validate every cached binding's view epochs in one batched
+  // gvdb.validate RPC (per naming-node incarnation seen, normally one).
+  sim::Task<Status> validate_cached_views(actions::AtomicAction& action,
+                                          const std::vector<ActiveBinding*>& bindings);
+  // Stage one object; store-copy failures are APPENDED to `excludes`
+  // rather than excluded immediately, so the caller can retire every
+  // failed store across all objects with a single batched Exclude.
+  sim::Task<Status> stage_object(actions::AtomicAction& action, ActiveBinding& binding,
+                                 std::vector<naming::ExcludeItem>& excludes);
 
   actions::ActionRuntime& rt_;
   NodeId naming_node_;
+  naming::GroupViewCache* cache_ = nullptr;
   Counters counters_;
 };
 

@@ -159,8 +159,8 @@ sim::Task<bool> RecoveryDaemon::repair_store_object(const Uid& object) {
   }
 
   const NodeId self = node_.id();
-  const bool member =
-      std::find(st.value().begin(), st.value().end(), self) != st.value().end();
+  const std::vector<NodeId>& st_nodes = st.value().st;
+  const bool member = std::find(st_nodes.begin(), st_nodes.end(), self) != st_nodes.end();
   bool refreshed = false;
 
   // A pending shadow — ours or a reachable peer's — means the object's
@@ -188,7 +188,7 @@ sim::Task<bool> RecoveryDaemon::repair_store_object(const Uid& object) {
       co_return false;  // stays suspect; retried on the next pass
     }
 
-    PeerScan scan = co_await scan_peers(object, st.value());
+    PeerScan scan = co_await scan_peers(object, st_nodes);
     if (scan.pending) {
       (void)co_await act.abort();
       counters_.inc("recovery.pending_commit_wait");
@@ -218,7 +218,7 @@ sim::Task<bool> RecoveryDaemon::repair_store_object(const Uid& object) {
     // Still a member: any in-flight commit's copy set includes us (its
     // GetView read the entry with us present), so we only need to catch
     // up on anything committed while we were down.
-    PeerScan scan = co_await scan_peers(object, st.value());
+    PeerScan scan = co_await scan_peers(object, st_nodes);
     if (scan.pending) {
       (void)co_await act.abort();
       counters_.inc("recovery.pending_commit_wait");

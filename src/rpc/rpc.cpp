@@ -1,6 +1,7 @@
 #include "rpc/rpc.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "core/metrics.h"
 #include "core/trace.h"
@@ -11,7 +12,27 @@ namespace gv::rpc {
 namespace {
 constexpr std::uint8_t kKindRequest = 0;
 constexpr std::uint8_t kKindReply = 1;
+
+// Fixed request overhead: kind u8 + req_id u64 + epoch u64 + trace u64 +
+// span u64 + op-hash u64 + args length prefix u32.
+constexpr std::size_t kRequestOverhead = 1 + 8 * 5 + 4;
 }  // namespace
+
+std::uint64_t RpcEndpoint::op_hash(const std::string& service,
+                                   const std::string& method) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(service);
+  h ^= '.';
+  h *= 0x100000001b3ull;
+  mix(method);
+  return h;
+}
 
 RpcEndpoint::RpcEndpoint(sim::Node& node, sim::Network& net, RpcConfig cfg)
     : node_(node), net_(net), cfg_(cfg), rng_(node.sim().rng().fork()) {
@@ -59,17 +80,33 @@ bool RpcEndpoint::first_delivery(NodeId from, std::uint64_t req_id) {
 
 void RpcEndpoint::register_method(const std::string& service, const std::string& method,
                                   Method fn) {
-  methods_[service + "." + method] = std::move(fn);
+  const std::uint64_t op = op_hash(service, method);
+  const std::string name = service + "." + method;
+  auto it = op_names_.find(op);
+  // A collision between two distinct op names would silently misroute
+  // calls; with a handful of ops per node the chance is negligible, but
+  // fail loudly if it ever happens.
+  assert(it == op_names_.end() || it->second == name);
+  (void)it;
+  op_names_[op] = name;
+  methods_[op] = std::move(fn);
 }
 
 void RpcEndpoint::unregister_service(const std::string& service) {
   const std::string prefix = service + ".";
   for (auto it = methods_.begin(); it != methods_.end();) {
-    if (it->first.rfind(prefix, 0) == 0)
+    const auto name = op_names_.find(it->first);
+    if (name != op_names_.end() && name->second.rfind(prefix, 0) == 0)
       it = methods_.erase(it);
     else
       ++it;
   }
+}
+
+const std::string& RpcEndpoint::op_name(std::uint64_t op) const {
+  static const std::string kUnknown = "?";
+  auto it = op_names_.find(op);
+  return it == op_names_.end() ? kUnknown : it->second;
 }
 
 sim::Task<Result<Buffer>> RpcEndpoint::call(NodeId dest, std::string service, std::string method,
@@ -103,12 +140,13 @@ sim::Task<Result<Buffer>> RpcEndpoint::call(NodeId dest, std::string service, st
   outstanding_.emplace(req_id, std::make_pair(promise, timer));
 
   Buffer msg;
+  msg.reserve(kRequestOverhead + args.size());
   msg.pack_u8(kKindRequest)
       .pack_u64(req_id)
       .pack_u64(0)  // no epoch expectation (unbound call)
       .pack_u64(ctx.trace)
       .pack_u64(ctx.span)
-      .pack_string(op)
+      .pack_u64(op_hash(service, method))
       .pack_bytes(args);
   net_.send(node_.id(), dest, std::move(msg));
   Result<Buffer> result = co_await future;
@@ -143,12 +181,13 @@ sim::Task<Result<Buffer>> RpcEndpoint::call_bound(Binding& binding, std::string 
   outstanding_.emplace(req_id, std::make_pair(promise, timer));
 
   Buffer msg;
+  msg.reserve(kRequestOverhead + args.size());
   msg.pack_u8(kKindRequest)
       .pack_u64(req_id)
       .pack_u64(binding.epoch + 1)  // expected incarnation (+1: 0 = none)
       .pack_u64(ctx.trace)
       .pack_u64(ctx.span)
-      .pack_string(op)
+      .pack_u64(op_hash(service, method))
       .pack_bytes(args);
   net_.send(node_.id(), binding.server, std::move(msg));
 
@@ -202,7 +241,7 @@ void RpcEndpoint::on_message(NodeId from, Buffer msg) {
   if (kind.value() == kKindRequest)
     on_request(from, req_id.value(), std::move(msg));
   else
-    on_reply(req_id.value(), std::move(msg));
+    on_reply(from, req_id.value(), std::move(msg));
 }
 
 void RpcEndpoint::on_request(NodeId from, std::uint64_t req_id, Buffer msg) {
@@ -214,10 +253,10 @@ void RpcEndpoint::on_request(NodeId from, std::uint64_t req_id, Buffer msg) {
   auto expected_epoch = msg.unpack_u64();
   auto wire_trace = msg.unpack_u64();
   auto wire_span = msg.unpack_u64();
-  auto key = msg.unpack_string();
+  auto op = msg.unpack_u64();
   auto args = msg.unpack_bytes();
   const std::uint64_t epoch_now = node_.epoch();
-  if (!expected_epoch.ok() || !wire_trace.ok() || !wire_span.ok() || !key.ok() || !args.ok()) {
+  if (!expected_epoch.ok() || !wire_trace.ok() || !wire_span.ok() || !op.ok() || !args.ok()) {
     send_reply(from, req_id, Err::BadRequest, epoch_now);
     return;
   }
@@ -226,18 +265,18 @@ void RpcEndpoint::on_request(NodeId from, std::uint64_t req_id, Buffer msg) {
     send_reply(from, req_id, Err::BindingBroken, epoch_now);
     return;
   }
-  node_.sim().spawn(run_handler(from, req_id, std::move(key).value(), std::move(args).value(),
+  node_.sim().spawn(run_handler(from, req_id, op.value(), std::move(args).value(),
                                 TraceContext{wire_trace.value(), wire_span.value()}));
 }
 
-sim::Task<> RpcEndpoint::run_handler(NodeId from, std::uint64_t req_id, std::string key,
+sim::Task<> RpcEndpoint::run_handler(NodeId from, std::uint64_t req_id, std::uint64_t op,
                                      Buffer args, TraceContext wire_ctx) {
   const std::uint64_t epoch_at_receipt = node_.epoch();
   // The server-side span parents under the context carried on the wire,
   // connecting this handler (and its nested calls) to the client's tree.
-  auto span = core::trace_span_under(trace_, wire_ctx, "rpc.serve." + key, node_.id(), "rpc",
-                                     "from=" + std::to_string(from));
-  auto it = methods_.find(key);
+  auto span = core::trace_span_under(trace_, wire_ctx, "rpc.serve." + op_name(op), node_.id(),
+                                     "rpc", "from=" + std::to_string(from));
+  auto it = methods_.find(op);
   if (it == methods_.end()) {
     span.end("not_found");
     send_reply(from, req_id, Err::NotFound, epoch_at_receipt);
@@ -255,17 +294,20 @@ void RpcEndpoint::send_reply(NodeId to, std::uint64_t req_id, const Result<Buffe
   // Fail-silence: a handler that was interrupted by a crash (or whose node
   // recovered into a new incarnation) sends nothing; the client times out.
   if (!node_.up() || node_.epoch() != epoch_at_receipt) return;
+  const Buffer piggyback = piggyback_provider_ ? piggyback_provider_() : Buffer{};
   Buffer msg;
+  msg.reserve(1 + 8 + 4 + 4 + (result.ok() ? result.value().size() : 0) + 4 + piggyback.size());
   msg.pack_u8(kKindReply).pack_u64(req_id).pack_u32(static_cast<std::uint32_t>(
       result.ok() ? Err::None : result.error()));
   if (result.ok())
     msg.pack_bytes(result.value());
   else
     msg.pack_bytes(Buffer{});
+  msg.pack_bytes(piggyback);
   net_.send(node_.id(), to, std::move(msg));
 }
 
-void RpcEndpoint::on_reply(std::uint64_t req_id, Buffer msg) {
+void RpcEndpoint::on_reply(NodeId from, std::uint64_t req_id, Buffer msg) {
   auto it = outstanding_.find(req_id);
   if (it == outstanding_.end()) return;  // late or duplicate reply: drop
   auto promise = it->second.first;
@@ -278,6 +320,12 @@ void RpcEndpoint::on_reply(std::uint64_t req_id, Buffer msg) {
     promise.set_value(Err::BadRequest);
     return;
   }
+  // The piggyback blob rides every reply — deliver it to the sink BEFORE
+  // resuming the caller, so a cached view invalidated by this very reply
+  // is already gone when the awaiting coroutine runs.
+  auto piggyback = msg.unpack_bytes();
+  if (piggyback.ok() && !piggyback.value().empty() && piggyback_sink_)
+    piggyback_sink_(from, std::move(piggyback).value());
   if (static_cast<Err>(err.value()) != Err::None)
     promise.set_value(static_cast<Err>(err.value()));
   else

@@ -71,6 +71,13 @@ class RpcEndpoint {
   // A method handler; `from` identifies the calling node.
   using Method = std::function<sim::Task<Result<Buffer>>(NodeId from, Buffer args)>;
 
+  // Operations travel the wire as the 64-bit FNV-1a of "service.method"
+  // rather than the string pair itself: 8 fixed bytes instead of a
+  // length-prefixed name on every request, and handler dispatch becomes a
+  // u64 hash lookup. Registration keeps the readable name for trace
+  // labels and asserts against hash collisions.
+  static std::uint64_t op_hash(const std::string& service, const std::string& method) noexcept;
+
   // Register "service.method". Re-registration replaces (used after
   // recovery when services restart).
   void register_method(const std::string& service, const std::string& method, Method fn);
@@ -118,14 +125,27 @@ class RpcEndpoint {
   core::TraceRecorder* trace() const noexcept { return trace_; }
   core::MetricsRegistry* metrics() const noexcept { return metrics_; }
 
+  // Reply piggybacking (sec 6 cache maintenance): a node may attach a
+  // small opaque blob to every reply it sends (provider), and consume the
+  // blob riding on every reply it receives (sink). The group-view cache
+  // uses this to ship recent invalidations from the naming node to
+  // clients without any extra messages.
+  void set_piggyback_provider(std::function<Buffer()> fn) {
+    piggyback_provider_ = std::move(fn);
+  }
+  void set_piggyback_sink(std::function<void(NodeId, Buffer)> fn) {
+    piggyback_sink_ = std::move(fn);
+  }
+
  private:
   void on_message(NodeId from, Buffer msg);
   void on_request(NodeId from, std::uint64_t req_id, Buffer msg);
-  void on_reply(std::uint64_t req_id, Buffer msg);
-  sim::Task<> run_handler(NodeId from, std::uint64_t req_id, std::string key, Buffer args,
+  void on_reply(NodeId from, std::uint64_t req_id, Buffer msg);
+  sim::Task<> run_handler(NodeId from, std::uint64_t req_id, std::uint64_t op, Buffer args,
                           TraceContext wire_ctx);
   void send_reply(NodeId to, std::uint64_t req_id, const Result<Buffer>& result,
                   std::uint64_t epoch_at_receipt);
+  const std::string& op_name(std::uint64_t op) const;
 
   // At-most-once execution: true exactly once per (sender, req_id). The
   // network may duplicate datagrams (NetConfig::dup_prob); re-running a
@@ -142,7 +162,10 @@ class RpcEndpoint {
   core::TraceRecorder* trace_ = nullptr;
   core::MetricsRegistry* metrics_ = nullptr;
   std::uint64_t next_req_id_ = 1;
-  std::unordered_map<std::string, Method> methods_;
+  std::unordered_map<std::uint64_t, Method> methods_;   // op hash -> handler
+  std::unordered_map<std::uint64_t, std::string> op_names_;  // op hash -> "svc.method"
+  std::function<Buffer()> piggyback_provider_;
+  std::function<void(NodeId, Buffer)> piggyback_sink_;
   // req_id -> (reply promise, timeout event id)
   std::unordered_map<std::uint64_t, std::pair<sim::SimPromise<Result<Buffer>>, std::uint64_t>>
       outstanding_;

@@ -31,6 +31,12 @@ class Buffer {
     read_pos_ = 0;
   }
 
+  // Pre-size the backing store before a run of pack_* calls: message
+  // assembly in the RPC hot path knows its final size up front, and one
+  // exact reservation replaces the vector's doubling reallocations.
+  void reserve(std::size_t total) { bytes_.reserve(total); }
+  std::size_t capacity() const noexcept { return bytes_.capacity(); }
+
   friend bool operator==(const Buffer& a, const Buffer& b) noexcept { return a.bytes_ == b.bytes_; }
   friend bool operator!=(const Buffer& a, const Buffer& b) noexcept { return !(a == b); }
 

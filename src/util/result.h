@@ -30,6 +30,7 @@ enum class Err {
   NotQuiescent,    // Insert refused: object has active users (sec 4.1.2)
   BadRequest,      // malformed RPC payload
   Conflict,        // generic optimistic/version conflict
+  StaleView,       // cached group-view epoch no longer current (rebind + retry)
 };
 
 const char* to_string(Err e) noexcept;

@@ -28,6 +28,7 @@ const char* to_string(Err e) noexcept {
     case Err::NotQuiescent: return "NotQuiescent";
     case Err::BadRequest: return "BadRequest";
     case Err::Conflict: return "Conflict";
+    case Err::StaleView: return "StaleView";
   }
   return "Unknown";
 }

@@ -300,7 +300,8 @@ TEST(ObjectStateDb, GetViewExcludeInclude) {
     auto st = co_await ostdb_get_view(f.rt->endpoint(), 0, f.obj, act.uid());
     EXPECT_TRUE(st.ok());
     if (st.ok()) {
-      EXPECT_EQ(st.value(), (std::vector<NodeId>{2, 3, 4}));
+      EXPECT_EQ(st.value().st, (std::vector<NodeId>{2, 3, 4}));
+      EXPECT_GT(st.value().epoch, 0u);
     }
 
     std::vector<ExcludeItem> drop3{{f.obj, {3}}};

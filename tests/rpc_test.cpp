@@ -54,7 +54,7 @@ TEST(Rpc, BasicRequestReply) {
 
 TEST(Rpc, UnknownMethodIsNotFound) {
   Fixture f;
-  Result<Buffer> got = Err::None;
+  Result<Buffer> got = Err::Timeout;
   f.sim.spawn([](Fixture& f, Result<Buffer>& got) -> sim::Task<> {
     got = co_await f.ep(0).call(1, "nope", "missing", Buffer{});
   }(f, got));
@@ -66,7 +66,7 @@ TEST(Rpc, CallToCrashedNodeTimesOut) {
   Fixture f;
   register_doubler(f, 1);
   f.cluster.node(1).crash();
-  Result<Buffer> got = Err::None;
+  Result<Buffer> got = Err::BadRequest;
   f.sim.spawn([](Fixture& f, Result<Buffer>& got) -> sim::Task<> {
     got = co_await f.ep(0).call(1, "math", "double", Buffer{});
   }(f, got));
@@ -83,7 +83,7 @@ TEST(Rpc, ServerCrashDuringHandlerMeansNoReply) {
     co_await f.sim.sleep(10 * sim::kMillisecond);
     co_return Buffer{};
   });
-  Result<Buffer> got = Err::None;
+  Result<Buffer> got = Err::BadRequest;
   f.sim.spawn([](Fixture& f, Result<Buffer>& got) -> sim::Task<> {
     got = co_await f.ep(0).call(1, "slow", "op", Buffer{});
   }(f, got));
@@ -101,7 +101,7 @@ TEST(Rpc, NestedRpcFromHandler) {
     if (!r1.ok()) co_return r1.error();
     co_return co_await f.ep(1).call(2, "math", "double", std::move(r1).value());
   });
-  Result<Buffer> got = Err::None;
+  Result<Buffer> got = Err::Timeout;
   f.sim.spawn([](Fixture& f, Result<Buffer>& got) -> sim::Task<> {
     Buffer args;
     args.pack_u32(5);

@@ -194,7 +194,7 @@ TEST(TracePropagation, LinkageSurvivesMidCallCrashAndRetry) {
   f.cluster.node(1).crash();
   f.sim.schedule(55 * sim::kMillisecond, [&f] { f.cluster.node(1).recover(); });
 
-  Result<Buffer> got = Err::None;
+  Result<Buffer> got = Err::Timeout;
   f.sim.spawn([](RpcFixture& f, Result<Buffer>& got) -> sim::Task<> {
     auto root = f.rec.begin_span("root", 0, "test");
     Buffer args;
